@@ -1,0 +1,53 @@
+//! Criterion bench: aggregate update throughput of each algorithm with
+//! two concurrent workers (iter_custom over a fixed update quota).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsgd_core::prelude::*;
+use lsgd_data::blobs::gaussian_blobs;
+use std::time::Duration;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algo_throughput_m2");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    let data = gaussian_blobs(400, 6, 3, 0.3, 1);
+    let problem = NnProblem::new(lsgd_nn::tiny_mlp(6, 16, 3), data, 32, 128);
+
+    for algo in Algorithm::parallel_lineup() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &(),
+            |b, _| {
+                b.iter_custom(|iters| {
+                    // One "iteration" = a budget of `iters` published
+                    // updates across 2 workers; measure the wall time the
+                    // trainer needs to produce them.
+                    let cfg = TrainConfig {
+                        algorithm: algo,
+                        threads: 2,
+                        eta: 0.01,
+                        epsilons: vec![1e-12], // never converges; budget rules
+                        max_updates: iters.max(10),
+                        max_wall: Duration::from_secs(30),
+                        eval_every: Duration::from_millis(5),
+                        seed: 9,
+                        staleness_cap: 64,
+                        ..TrainConfig::default()
+                    };
+                    let r = train(&problem, &cfg);
+                    // Scale measured wall to the requested iteration count
+                    // (train may slightly overshoot the budget).
+                    let per_update = r.wall.as_secs_f64() / r.published.max(1) as f64;
+                    Duration::from_secs_f64(per_update * iters as f64)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: cost of the Section-IV analytics — closed form,
+//! trajectory iteration and the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsgd_dynamics::des::{simulate, CasMode, DesConfig};
+use lsgd_dynamics::FluidModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dynamics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics_model");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    let model = FluidModel::new(16.0, 40.0, 0.8);
+    group.bench_function("closed_form_t1000", |b| {
+        b.iter(|| black_box(model.closed_form(black_box(0.0), 1000)));
+    });
+    group.bench_function("trajectory_1000_steps", |b| {
+        b.iter(|| black_box(model.trajectory(0.0, 1000)));
+    });
+
+    for (name, mode) in [
+        ("idealized", CasMode::Idealized),
+        ("realistic", CasMode::Realistic),
+    ] {
+        let cfg = DesConfig {
+            m: 16,
+            tc: 40.0,
+            tu: 0.8,
+            jitter: 0.2,
+            persistence: Some(1),
+            mode,
+            horizon: 5_000.0,
+            seed: 3,
+        };
+        group.bench_with_input(BenchmarkId::new("des_5k_units", name), &(), |b, _| {
+            b.iter(|| black_box(simulate(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamics);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: GEMM throughput on the shapes the paper's workloads
+//! exercise (MLP layer products and CNN im2col products).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsgd_tensor::gemm::{gemm, Transpose};
+use lsgd_tensor::{Matrix, SmallRng64};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.next_f32() - 0.5)
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    // (name, m, k, n): the forward products of the paper's networks at
+    // batch 512 plus the CNN's per-sample im2col products.
+    let shapes = [
+        ("mlp_l1_512x784x128", 512, 784, 128),
+        ("mlp_hidden_512x128x128", 512, 128, 128),
+        ("mlp_out_512x128x10", 512, 128, 10),
+        ("cnn_im2col_4x9x676", 4, 9, 676),
+        ("cnn_im2col_8x36x121", 8, 36, 121),
+    ];
+    for (name, m, k, n) in shapes {
+        let a = rand_mat(m, k, 1);
+        let b = rand_mat(k, n, 2);
+        let mut out = Matrix::zeros(m, n);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |bench, _| {
+            bench.iter(|| {
+                gemm(
+                    1.0,
+                    black_box(&a),
+                    Transpose::No,
+                    black_box(&b),
+                    Transpose::No,
+                    0.0,
+                    &mut out,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

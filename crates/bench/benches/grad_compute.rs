@@ -1,0 +1,47 @@
+//! Criterion bench: gradient computation time `Tc` (Fig. 9 left) for the
+//! Table II MLP and Table III CNN at two batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsgd_core::problem::{NnProblem, Problem};
+use lsgd_data::SynthDigits;
+use lsgd_tensor::SmallRng64;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_grad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grad_compute_Tc");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    let data = SynthDigits::default().generate(1024, 1);
+    for arch in ["mlp", "cnn"] {
+        for batch in [64usize, 512] {
+            let net = if arch == "mlp" {
+                lsgd_nn::mlp_mnist()
+            } else {
+                lsgd_nn::cnn_mnist()
+            };
+            let problem = NnProblem::new(net, data.clone(), batch, 256);
+            let theta = problem.init_theta(0);
+            let mut grad = vec![0.0f32; problem.dim()];
+            let mut scratch = problem.scratch();
+            let mut rng = SmallRng64::new(7);
+            group.bench_with_input(BenchmarkId::new(arch, batch), &(), |bench, _| {
+                bench.iter(|| {
+                    black_box(problem.grad(
+                        black_box(&theta),
+                        &mut grad,
+                        &mut scratch,
+                        &mut rng,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grad);
+criterion_main!(benches);

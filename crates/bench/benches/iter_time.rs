@@ -1,0 +1,73 @@
+//! Criterion bench: full SGD iteration latency (Fig. 3 right, micro
+//! version) — read + gradient + update for each algorithm, one worker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsgd_core::baseline::{HogwildParams, LockedParams};
+use lsgd_core::mem::MemoryGauge;
+use lsgd_core::paramvec::LeashedShared;
+use lsgd_core::pool::BufferPool;
+use lsgd_core::problem::{NnProblem, Problem};
+use lsgd_data::SynthDigits;
+use lsgd_tensor::SmallRng64;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_iter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iter_time");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    let data = SynthDigits::default().generate(512, 3);
+    let problem = NnProblem::new(lsgd_nn::mlp_mnist(), data, 64, 256);
+    let d = problem.dim();
+    let theta0 = problem.init_theta(0);
+    let mut grad = vec![0.0f32; d];
+    let mut scratch = problem.scratch();
+    let mut rng = SmallRng64::new(11);
+    let eta = 0.005f32;
+
+    // SEQ/ASYNC iteration: lock-copy, grad, lock-update.
+    let locked = LockedParams::new(theta0.clone(), Arc::new(MemoryGauge::new()));
+    let mut local = vec![0.0f32; d];
+    group.bench_with_input(BenchmarkId::new("iteration", "locked"), &(), |b, _| {
+        b.iter(|| {
+            locked.read_into(&mut local);
+            let loss = problem.grad(&local, &mut grad, &mut scratch, &mut rng);
+            black_box(locked.update(&grad, eta));
+            black_box(loss)
+        });
+    });
+
+    // HOGWILD! iteration: racy copy, grad, racy update.
+    let hog = HogwildParams::new(&theta0, Arc::new(MemoryGauge::new()));
+    group.bench_with_input(BenchmarkId::new("iteration", "hogwild"), &(), |b, _| {
+        b.iter(|| {
+            hog.read_into(&mut local);
+            let loss = problem.grad(&local, &mut grad, &mut scratch, &mut rng);
+            black_box(hog.update(&grad, eta));
+            black_box(loss)
+        });
+    });
+
+    // Leashed iteration: guarded zero-copy read, grad, LAU-SPC publish.
+    let pool = BufferPool::new(d, Arc::new(MemoryGauge::new()));
+    let leashed = LeashedShared::new(&theta0, pool);
+    group.bench_with_input(BenchmarkId::new("iteration", "leashed"), &(), |b, _| {
+        b.iter(|| {
+            let loss = {
+                let guard = leashed.latest();
+                problem.grad(guard.theta(), &mut grad, &mut scratch, &mut rng)
+            };
+            black_box(leashed.publish_update(&grad, eta, None, |_| {}));
+            black_box(loss)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_iter);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: parameter update time `Tu` (Fig. 9 right) for each
+//! synchronisation mechanism at the paper's two dimensions
+//! (MLP d = 134,794; CNN d = 27,354).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsgd_core::baseline::{HogwildParams, LockedParams};
+use lsgd_core::mem::MemoryGauge;
+use lsgd_core::paramvec::LeashedShared;
+use lsgd_core::pool::BufferPool;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("param_update_Tu");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    for (arch, d) in [("mlp", 134_794usize), ("cnn", 27_354usize)] {
+        let grad = vec![0.001f32; d];
+        let init = vec![0.0f32; d];
+
+        let locked = LockedParams::new(init.clone(), Arc::new(MemoryGauge::new()));
+        group.bench_with_input(BenchmarkId::new("locked", arch), &(), |b, _| {
+            b.iter(|| black_box(locked.update(black_box(&grad), 0.005)));
+        });
+
+        let hog = HogwildParams::new(&init, Arc::new(MemoryGauge::new()));
+        group.bench_with_input(BenchmarkId::new("hogwild", arch), &(), |b, _| {
+            b.iter(|| black_box(hog.update(black_box(&grad), 0.005)));
+        });
+
+        let pool = BufferPool::new(d, Arc::new(MemoryGauge::new()));
+        let leashed = LeashedShared::new(&init, pool);
+        group.bench_with_input(BenchmarkId::new("leashed_publish", arch), &(), |b, _| {
+            // Copy + update + CAS; uncontended, so one attempt each.
+            b.iter(|| {
+                black_box(leashed.publish_update(black_box(&grad), 0.005, None, |_| {}))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

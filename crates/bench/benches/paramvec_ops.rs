@@ -1,0 +1,67 @@
+//! Criterion bench: ParameterVector protocol operation latencies —
+//! counted reads (`latest_pointer`), monitor snapshots, and publishes
+//! with a concurrent contender.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsgd_core::mem::MemoryGauge;
+use lsgd_core::paramvec::LeashedShared;
+use lsgd_core::pool::BufferPool;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn shared(d: usize) -> LeashedShared {
+    let pool = BufferPool::new(d, Arc::new(MemoryGauge::new()));
+    LeashedShared::new(&vec![0.0f32; d], pool)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paramvec_ops");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    for d in [27_354usize, 134_794] {
+        let s = shared(d);
+        group.bench_with_input(BenchmarkId::new("latest_read", d), &(), |b, _| {
+            b.iter(|| {
+                let g = s.latest();
+                black_box(g.seq());
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("snapshot_copy", d), &(), |b, _| {
+            let mut buf = vec![0.0f32; d];
+            b.iter(|| {
+                black_box(s.snapshot_into(&mut buf));
+            });
+        });
+    }
+
+    // Publish latency with a background contender hammering publishes.
+    let d = 27_354usize;
+    let s = Arc::new(shared(d));
+    let stop = Arc::new(AtomicBool::new(false));
+    let contender = {
+        let s = Arc::clone(&s);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let grad = vec![0.001f32; d];
+            while !stop.load(Ordering::Relaxed) {
+                s.publish_update(&grad, 0.005, None, |_| {});
+            }
+        })
+    };
+    let grad = vec![0.001f32; d];
+    group.bench_function("publish_contended_cnn_d", |b| {
+        b.iter(|| black_box(s.publish_update(black_box(&grad), 0.005, None, |_| {})));
+    });
+    stop.store(true, Ordering::Relaxed);
+    contender.join().unwrap();
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Section IV validation — the fluid model (Theorem 3, Corollaries
+//! 3.1/3.2) against the discrete-event simulator, parameterised by the
+//! Tc/Tu ratios measured in Fig. 9.
+//!
+//! Three checks:
+//! 1. the closed form (5) equals the recurrence (4) and settles at the
+//!    fixed point `n* = m/(Tc/Tu + 1)`;
+//! 2. the DES in idealised mode reproduces `n*`, and in realistic CAS
+//!    mode shows the extra occupancy that persistence then removes;
+//! 3. `E[τs]` falls as the persistence bound tightens, reaching exactly 0
+//!    at `Tp = 0` (the paper's §IV.2 claim).
+
+use lsgd_bench::expect::print_expectation;
+use lsgd_dynamics::des::{simulate, CasMode, DesConfig};
+use lsgd_dynamics::staleness::{estimate, gamma_for_persistence};
+use lsgd_dynamics::FluidModel;
+use lsgd_metrics::table::Table;
+
+fn main() {
+    // (label, Tc, Tu) — the MLP and CNN regimes of Fig. 9 (ms).
+    let regimes = [("MLP-like", 40.0, 0.8), ("CNN-like", 100.0, 0.25)];
+    let ms = [16usize, 34, 68];
+
+    println!("=== fixed points and closed form (Theorem 3 / Cor. 3.1) ===\n");
+    println!(
+        "  note: recurrence (4) advances one unit per step and requires\n\
+         \x20 1/Tc + 1/Tu < 2 for stability; times are rescaled to a stable\n\
+         \x20 unit (fixed points are invariant under rescaling).\n"
+    );
+    let mut t = Table::new(vec![
+        "regime", "m", "n* (fluid)", "n*/m = Tu/(Tu+Tc)", "closed form (settled)",
+        "recurrence (settled)",
+    ]);
+    for (name, tc, tu) in regimes {
+        for &m in &ms {
+            let f = FluidModel::new(m as f64, tc, tu).rescaled_stable();
+            let steps = 40_000;
+            let traj = f.trajectory(0.0, steps);
+            t.row(vec![
+                name.to_string(),
+                m.to_string(),
+                format!("{:.4}", f.fixed_point()),
+                format!("{:.5}", f.balance()),
+                format!("{:.4}", f.closed_form(0.0, steps as u32)),
+                format!("{:.4}", traj[steps]),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("\n=== DES vs fluid occupancy ===\n");
+    let mut t = Table::new(vec![
+        "regime", "m", "fluid n*", "DES idealized", "DES realistic CAS",
+    ]);
+    for (name, tc, tu) in regimes {
+        for &m in &ms {
+            let f = FluidModel::new(m as f64, tc, tu);
+            let mk = |mode| {
+                simulate(&DesConfig {
+                    m,
+                    tc,
+                    tu,
+                    jitter: 0.2,
+                    persistence: None,
+                    mode,
+                    horizon: 60_000.0,
+                    seed: 42,
+                })
+            };
+            let ideal = mk(CasMode::Idealized);
+            let real = mk(CasMode::Realistic);
+            t.row(vec![
+                name.to_string(),
+                m.to_string(),
+                format!("{:.3}", f.fixed_point()),
+                format!("{:.3}", ideal.mean_occupancy),
+                format!("{:.3}", real.mean_occupancy),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("\n=== persistence regulation of tau_s (Cor. 3.2 / §IV.2) ===\n");
+    let mut t = Table::new(vec![
+        "regime", "Tp", "gamma", "E[tau_s] model (= n*_gamma)", "E[tau_s] DES", "aborted frac",
+    ]);
+    for (name, tc, tu) in [("contended", 4.0, 2.0), ("MLP-like", 40.0, 0.8)] {
+        for tp in [None, Some(4), Some(1), Some(0)] {
+            let gamma = gamma_for_persistence(tp);
+            let est = estimate(16.0, tc, tu, gamma);
+            let des = simulate(&DesConfig {
+                m: 16,
+                tc,
+                tu,
+                jitter: 0.2,
+                persistence: tp,
+                mode: CasMode::Realistic,
+                horizon: 60_000.0,
+                seed: 7,
+            });
+            let abort_frac =
+                des.aborted as f64 / (des.publishes + des.aborted).max(1) as f64;
+            t.row(vec![
+                name.to_string(),
+                tp.map(|v| v.to_string()).unwrap_or_else(|| "inf".into()),
+                format!("{gamma:.2}"),
+                format!("{:.3}", est.tau_s),
+                format!("{:.3}", des.tau_s.mean()),
+                format!("{abort_frac:.3}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "  notes: tau_s falls monotonically as Tp tightens and is exactly 0 at\n\
+         \x20 Tp=0 (paper §IV.2). In the heavily contended regime the fluid\n\
+         \x20 model (which assumes every attempt departs) underestimates the\n\
+         \x20 realistic-CAS tau_s for Tp=inf — the gap the persistence bound\n\
+         \x20 exists to close."
+    );
+    print_expectation("Sec. IV");
+}

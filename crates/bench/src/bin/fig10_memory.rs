@@ -1,0 +1,59 @@
+//! Fig. 10 — memory consumption of each algorithm for MLP and CNN
+//! training at several thread counts.
+//!
+//! The paper samples RSS with `ps`; we report the exact live
+//! parameter-buffer bytes from the run's memory gauge (mean and peak of
+//! the continuously sampled trace), plus the Leashed pool's peak
+//! outstanding ParameterVector count against the Lemma-2 bound `3m`.
+
+use lsgd_bench::expect::print_expectation;
+use lsgd_bench::workloads::{banner, base_config, cnn_problem, lineup_for, mlp_problem};
+use lsgd_bench::Args;
+use lsgd_core::prelude::*;
+use lsgd_metrics::table::Table;
+
+fn main() {
+    let args = Args::parse(Args::default());
+    banner("Fig. 10", "memory consumption (MLP and CNN)", &args);
+
+    for (name, problem) in [
+        ("MLP", mlp_problem(&args)),
+        ("CNN", cnn_problem(&args)),
+    ] {
+        println!("\n--- {name} (d = {}) ---", problem.dim());
+        let mut table = Table::new(vec![
+            "m", "algo", "mean live", "peak live", "pool peak (<=2m+1)", "reuse/alloc",
+        ]);
+        let mut csv = String::from("m,algo,mean_bytes,peak_bytes\n");
+        for &m in &args.threads {
+            for algo in lineup_for(m) {
+                let mut cfg = base_config(&args, algo, m);
+                cfg.epsilons = vec![0.02];
+                let r = train(&problem, &cfg);
+                let pts = r.mem_trace.points();
+                let mean =
+                    pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len().max(1) as f64;
+                table.row(vec![
+                    m.to_string(),
+                    algo.label(),
+                    format!("{:.0}KB", mean / 1024.0),
+                    format!("{}KB", r.mem_peak_bytes / 1024),
+                    if algo.is_leashed() {
+                        format!("{}", r.pool_outstanding_peak)
+                    } else {
+                        "-".into()
+                    },
+                    format!("{}/{}", r.mem_reuses, r.mem_allocs),
+                ]);
+                csv.push_str(&format!(
+                    "{m},{},{mean:.0},{}\n",
+                    algo.label(),
+                    r.mem_peak_bytes
+                ));
+            }
+        }
+        println!("{}", table.render());
+        args.maybe_write_csv(&format!("fig10_{}.csv", name.to_lowercase()), &csv);
+    }
+    print_expectation("Fig. 10");
+}

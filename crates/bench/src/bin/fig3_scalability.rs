@@ -1,0 +1,73 @@
+//! Fig. 3 — ε=50% convergence rate (left) and computational efficiency
+//! (right) for MLP training under varying parallelism.
+//!
+//! For each thread count `m` and algorithm, runs `reps` independent
+//! executions and reports the box statistics of the wall-clock time to
+//! 50%-convergence, the Diverge/Crash counts, and the mean time per SGD
+//! iteration.
+
+use lsgd_bench::expect::print_expectation;
+use lsgd_bench::workloads::{banner, base_config, lineup_for, mlp_problem, run_reps};
+use lsgd_bench::Args;
+use lsgd_metrics::table::Table;
+
+fn main() {
+    let args = Args::parse(Args::default());
+    banner("Fig. 3", "MLP scalability: time to eps=50% + time/iteration", &args);
+    let problem = mlp_problem(&args);
+
+    let mut left = Table::new(vec![
+        "m", "algo", "time to eps=50%", "diverge", "crash", "updates/s",
+    ]);
+    let mut right = Table::new(vec!["m", "algo", "time/iter (mean)", "Tc mean", "Tu mean"]);
+    let mut csv = String::from("m,algo,median_s,diverged,crashed,iter_ms\n");
+
+    for &m in &args.threads {
+        for algo in lineup_for(m) {
+            let cfg = base_config(&args, algo, m);
+            let rs = run_reps(&problem, &cfg, args.reps);
+            let ups: f64 = rs.runs.iter().map(|r| r.updates_per_sec()).sum::<f64>()
+                / rs.runs.len() as f64;
+            left.row(vec![
+                m.to_string(),
+                algo.label(),
+                rs.cell(0),
+                rs.diverged[0].to_string(),
+                rs.crashed[0].to_string(),
+                format!("{ups:.0}"),
+            ]);
+            let iter_ms: f64 = rs.runs.iter().map(|r| r.iter_time.mean()).sum::<f64>()
+                / rs.runs.len() as f64
+                * 1e3;
+            let tc: f64 =
+                rs.runs.iter().map(|r| r.tc.mean()).sum::<f64>() / rs.runs.len() as f64 * 1e3;
+            let tu: f64 =
+                rs.runs.iter().map(|r| r.tu.mean()).sum::<f64>() / rs.runs.len() as f64 * 1e3;
+            right.row(vec![
+                m.to_string(),
+                algo.label(),
+                format!("{iter_ms:.2}ms"),
+                format!("{tc:.2}ms"),
+                format!("{tu:.3}ms"),
+            ]);
+            let med = rs
+                .boxstats(0)
+                .map(|b| format!("{:.3}", b.median))
+                .unwrap_or_else(|| "-".into());
+            csv.push_str(&format!(
+                "{m},{},{med},{},{},{iter_ms:.3}\n",
+                algo.label(),
+                rs.diverged[0],
+                rs.crashed[0]
+            ));
+        }
+    }
+
+    println!("--- Fig. 3 left: convergence rate ---");
+    println!("{}", left.render());
+    println!("--- Fig. 3 right: computational efficiency ---");
+    println!("{}", right.render());
+    args.maybe_write_csv("fig3.csv", &csv);
+    print_expectation("Fig. 3 (left)");
+    print_expectation("Fig. 3 (right)");
+}

@@ -1,0 +1,71 @@
+//! Fig. 4 — MLP convergence rate to increasing precision, per thread
+//! count: ε ∈ {50%, 10%, 5%, 2.5%} at the baselines' optimum `m`, and
+//! ε ∈ {75%, 50%, 25%, 10%} under higher parallelism.
+//!
+//! Box statistics over `reps` executions; runs that never reach an ε are
+//! tallied as Diverge, numerically unstable ones as Crash — the paper
+//! highlights these because wasted training time is the practical cost.
+
+use lsgd_bench::expect::print_expectation;
+use lsgd_bench::workloads::{banner, base_config, lineup_for, mlp_problem, run_reps};
+use lsgd_bench::Args;
+use lsgd_metrics::table::Table;
+
+fn main() {
+    let defaults = Args {
+        wall: std::time::Duration::from_secs(30),
+        ..Args::default()
+    };
+    let args = Args::parse(defaults);
+    banner("Fig. 4", "MLP time-to-eps at increasing precision", &args);
+    let problem = mlp_problem(&args);
+
+    // Quick scale uses the small thread set; --full uses the paper's trio.
+    let thread_sets: Vec<(usize, Vec<f64>)> = if args.full {
+        vec![
+            (16, vec![0.5, 0.1, 0.05, 0.025]),
+            (34, vec![0.75, 0.5, 0.25, 0.1]),
+            (68, vec![0.75, 0.5, 0.25, 0.1]),
+        ]
+    } else {
+        args.threads
+            .iter()
+            .map(|&m| (m, vec![0.75, 0.5, 0.25, 0.1]))
+            .collect()
+    };
+
+    let mut csv = String::from("m,algo,eps,median_s,diverged,crashed\n");
+    for (m, epsilons) in thread_sets {
+        println!("\n--- m = {m} threads ---");
+        let mut table = Table::new(vec![
+            "algo",
+            &format!("eps={}%", epsilons[0] * 100.0),
+            &format!("eps={}%", epsilons[1] * 100.0),
+            &format!("eps={}%", epsilons[2] * 100.0),
+            &format!("eps={}%", epsilons[3] * 100.0),
+        ]);
+        for algo in lineup_for(m) {
+            let mut cfg = base_config(&args, algo, m);
+            cfg.epsilons = epsilons.clone();
+            let rs = run_reps(&problem, &cfg, args.reps);
+            let mut row = vec![algo.label()];
+            for (i, eps) in epsilons.iter().enumerate() {
+                row.push(rs.cell(i));
+                let med = rs
+                    .boxstats(i)
+                    .map(|b| format!("{:.3}", b.median))
+                    .unwrap_or_else(|| "-".into());
+                csv.push_str(&format!(
+                    "{m},{},{eps},{med},{},{}\n",
+                    algo.label(),
+                    rs.diverged[i],
+                    rs.crashed[i]
+                ));
+            }
+            table.row(row);
+        }
+        println!("{}", table.render());
+    }
+    args.maybe_write_csv("fig4.csv", &csv);
+    print_expectation("Fig. 4");
+}

@@ -1,0 +1,61 @@
+//! Fig. 5 — MLP training loss over wall-clock time per algorithm, at
+//! several parallelism levels.
+//!
+//! Prints each algorithm's loss trace resampled onto a common time grid
+//! (the paper plots the raw curves; the resampled table is the same data
+//! in terminal-friendly form) and optionally writes full-resolution CSVs.
+
+use lsgd_bench::expect::print_expectation;
+use lsgd_bench::workloads::{banner, base_config, lineup_for, mlp_problem};
+use lsgd_bench::Args;
+use lsgd_core::prelude::*;
+use lsgd_metrics::table::Table;
+
+fn main() {
+    let args = Args::parse(Args::default());
+    banner("Fig. 5", "MLP training loss over time", &args);
+    let problem = mlp_problem(&args);
+    let grid_points = 9;
+
+    for &m in &args.threads {
+        println!("\n--- m = {m} threads ---");
+        let mut series = Vec::new();
+        for algo in lineup_for(m) {
+            let mut cfg = base_config(&args, algo, m);
+            // Run for the full wall budget: the figure shows trajectories,
+            // not stopping times.
+            cfg.epsilons = vec![0.02];
+            let r = train(&problem, &cfg);
+            series.push((algo.label(), r.loss_trace.clone(), r.crashed));
+        }
+        let t_max = args.wall.as_secs_f64();
+        let mut header = vec!["algo".to_string()];
+        for i in 0..grid_points {
+            header.push(format!("{:.1}s", t_max * i as f64 / (grid_points - 1) as f64));
+        }
+        let mut table = Table::new(header);
+        let mut csv = String::from("algo,t_secs,loss\n");
+        for (label, trace, crashed) in &series {
+            let grid = trace.resample_uniform(t_max, grid_points);
+            let mut row = vec![if *crashed {
+                format!("{label} (CRASH)")
+            } else {
+                label.clone()
+            }];
+            for &(_, v) in &grid {
+                row.push(if v.is_finite() {
+                    format!("{v:.3}")
+                } else {
+                    "nan".into()
+                });
+            }
+            table.row(row);
+            for &(t, v) in trace.points() {
+                csv.push_str(&format!("{label},{t:.4},{v:.6}\n"));
+            }
+        }
+        println!("{}", table.render());
+        args.maybe_write_csv(&format!("fig5_m{m}.csv"), &csv);
+    }
+    print_expectation("Fig. 5");
+}

@@ -1,0 +1,53 @@
+//! Fig. 6 — staleness distributions for MLP training at several
+//! parallelism levels.
+//!
+//! For each thread count and algorithm: the distribution of the per-update
+//! staleness τ (concurrent updates between a worker's read of θ and its
+//! update landing), plus Leashed-SGD's scheduling component τs, which the
+//! persistence bound regulates (§IV.2).
+
+use lsgd_bench::expect::print_expectation;
+use lsgd_bench::workloads::{banner, base_config, lineup_for, mlp_problem};
+use lsgd_bench::Args;
+use lsgd_core::prelude::*;
+use lsgd_metrics::table::Table;
+
+fn main() {
+    let args = Args::parse(Args::default());
+    banner("Fig. 6", "MLP staleness distributions", &args);
+    let problem = mlp_problem(&args);
+
+    for &m in &args.threads {
+        println!("\n--- m = {m} threads ---");
+        let mut table = Table::new(vec![
+            "algo", "updates", "tau mean", "tau p50", "tau p95", "tau max", "tau_s mean",
+            "aborted",
+        ]);
+        let mut csv = String::from("algo,tau,count\n");
+        for algo in lineup_for(m) {
+            let mut cfg = base_config(&args, algo, m);
+            cfg.epsilons = vec![0.02]; // run the full budget
+            let r = train(&problem, &cfg);
+            table.row(vec![
+                algo.label(),
+                r.published.to_string(),
+                format!("{:.2}", r.staleness.mean()),
+                r.staleness.quantile(0.5).to_string(),
+                r.staleness.quantile(0.95).to_string(),
+                r.staleness.max().to_string(),
+                if algo.is_leashed() {
+                    format!("{:.2}", r.tau_s.mean())
+                } else {
+                    "-".into()
+                },
+                r.aborted.to_string(),
+            ]);
+            for (v, c) in r.staleness.nonzero_bins() {
+                csv.push_str(&format!("{},{v},{c}\n", algo.label()));
+            }
+        }
+        println!("{}", table.render());
+        args.maybe_write_csv(&format!("fig6_m{m}.csv"), &csv);
+    }
+    print_expectation("Fig. 6");
+}

@@ -1,0 +1,73 @@
+//! Fig. 7 — CNN training: time-to-ε boxes, loss trajectories and
+//! staleness distribution at the baselines' optimal thread count.
+//!
+//! The CNN regime is the paper's showcase for Leashed-SGD's largest wins
+//! (up to 4× to ε=10%): its high `Tc/Tu` ratio keeps the LAU-SPC loop
+//! uncontended, so consistency comes at almost no throughput cost while
+//! the baselines still pay for locks / suffer inconsistency.
+
+use lsgd_bench::expect::print_expectation;
+use lsgd_bench::workloads::{banner, base_config, cnn_problem, lineup_for, run_reps};
+use lsgd_bench::Args;
+use lsgd_metrics::table::Table;
+
+fn main() {
+    let defaults = Args {
+        wall: std::time::Duration::from_secs(30),
+        ..Args::default()
+    };
+    let args = Args::parse(defaults);
+    banner("Fig. 7", "CNN convergence, trajectories, staleness (m fixed)", &args);
+    let problem = cnn_problem(&args);
+    let m = if args.full {
+        16
+    } else {
+        *args.threads.last().unwrap_or(&2)
+    };
+    let epsilons = [0.75, 0.5, 0.25, 0.1];
+
+    println!("\n--- time to eps (m = {m}) ---");
+    let mut table = Table::new(vec![
+        "algo", "eps=75%", "eps=50%", "eps=25%", "eps=10%", "best 10% run", "stale mean",
+    ]);
+    let mut csv = String::from("algo,eps,median_s,diverged,crashed\n");
+    for algo in lineup_for(m) {
+        let mut cfg = base_config(&args, algo, m);
+        cfg.epsilons = epsilons.to_vec();
+        let rs = run_reps(&problem, &cfg, args.reps);
+        let best10 = rs.times[3]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let stale: f64 = rs.runs.iter().map(|r| r.staleness.mean()).sum::<f64>()
+            / rs.runs.len() as f64;
+        table.row(vec![
+            algo.label(),
+            rs.cell(0),
+            rs.cell(1),
+            rs.cell(2),
+            rs.cell(3),
+            if best10.is_finite() {
+                format!("{best10:.2}s")
+            } else {
+                "-".into()
+            },
+            format!("{stale:.2}"),
+        ]);
+        for (i, eps) in epsilons.iter().enumerate() {
+            let med = rs
+                .boxstats(i)
+                .map(|b| format!("{:.3}", b.median))
+                .unwrap_or_else(|| "-".into());
+            csv.push_str(&format!(
+                "{},{eps},{med},{},{}\n",
+                algo.label(),
+                rs.diverged[i],
+                rs.crashed[i]
+            ));
+        }
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("fig7.csv", &csv);
+    print_expectation("Fig. 7");
+}

@@ -1,0 +1,79 @@
+//! Fig. 8 (appendix) — step-size tuning: convergence rate and statistical
+//! efficiency across η, MLP at fixed parallelism.
+//!
+//! The paper uses this sweep to select η = 0.005 for the baselines and to
+//! show Leashed-SGD tolerates larger step sizes — part of its "reduced
+//! dependency on hyper-parameter tuning" claim (Fig. 1).
+
+use lsgd_bench::expect::print_expectation;
+use lsgd_bench::workloads::{banner, base_config, lineup_for, mlp_problem, run_reps};
+use lsgd_bench::Args;
+use lsgd_metrics::table::Table;
+
+fn main() {
+    let args = Args::parse(Args::default());
+    banner("Fig. 8", "step-size sweep: time + iterations to eps=50%", &args);
+    let problem = mlp_problem(&args);
+    let m = if args.full {
+        16
+    } else {
+        *args.threads.last().unwrap_or(&2)
+    };
+    let etas: Vec<f32> = if args.full {
+        vec![0.001, 0.003, 0.005, 0.007, 0.009]
+    } else {
+        // Quick scale trains a smaller effective problem; shift the sweep
+        // up so the fastest settings actually converge inside the budget.
+        vec![0.01, 0.03, 0.05, 0.07, 0.09]
+    };
+
+    let mut time_tbl = Table::new(vec![
+        "eta", "algo", "time to 50%", "diverge", "crash",
+    ]);
+    let mut iter_tbl = Table::new(vec!["eta", "algo", "iterations to 50% (median)"]);
+    let mut csv = String::from("eta,algo,median_s,median_iters,diverged,crashed\n");
+
+    for &eta in &etas {
+        for algo in lineup_for(m) {
+            let mut cfg = base_config(&args, algo, m);
+            cfg.eta = eta;
+            let rs = run_reps(&problem, &cfg, args.reps);
+            time_tbl.row(vec![
+                format!("{eta}"),
+                algo.label(),
+                rs.cell(0),
+                rs.diverged[0].to_string(),
+                rs.crashed[0].to_string(),
+            ]);
+            // Statistical efficiency: published updates when 50% was hit.
+            let mut iters: Vec<f64> = rs
+                .runs
+                .iter()
+                .filter_map(|r| r.iters_to_eps[0].1.map(|u| u as f64))
+                .collect();
+            iters.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let med_iters = if iters.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.0}", iters[iters.len() / 2])
+            };
+            iter_tbl.row(vec![format!("{eta}"), algo.label(), med_iters.clone()]);
+            let med = rs
+                .boxstats(0)
+                .map(|b| format!("{:.3}", b.median))
+                .unwrap_or_else(|| "-".into());
+            csv.push_str(&format!(
+                "{eta},{},{med},{med_iters},{},{}\n",
+                algo.label(),
+                rs.diverged[0],
+                rs.crashed[0]
+            ));
+        }
+    }
+    println!("--- convergence rate (wall-clock) ---");
+    println!("{}", time_tbl.render());
+    println!("--- statistical efficiency (iterations) ---");
+    println!("{}", iter_tbl.render());
+    args.maybe_write_csv("fig8.csv", &csv);
+    print_expectation("Fig. 8");
+}

@@ -1,0 +1,61 @@
+//! Fig. 9 — gradient computation time (Tc) and parameter update time (Tu)
+//! for the MLP and CNN workloads.
+//!
+//! The paper's appendix measures these two distributions because their
+//! ratio `Tc/Tu` drives the entire Section-IV contention analysis: the CNN
+//! has a *smaller* parameter vector (faster Tu) but *slower* gradients
+//! (many small convolution GEMMs), so its LAU-SPC loop is nearly
+//! uncontended, while the MLP's lower ratio produces the contention the
+//! persistence bound then regulates.
+
+use lsgd_bench::expect::print_expectation;
+use lsgd_bench::workloads::{banner, base_config, cnn_problem, mlp_problem};
+use lsgd_bench::Args;
+use lsgd_core::prelude::*;
+use lsgd_dynamics::FluidModel;
+use lsgd_metrics::table::Table;
+
+fn main() {
+    let args = Args::parse(Args::default());
+    banner("Fig. 9", "gradient computation (Tc) and update (Tu) times", &args);
+
+    let mut table = Table::new(vec![
+        "arch", "d", "Tc mean", "Tc min..max", "Tu mean", "Tu min..max", "Tc/Tu", "n*/m (m=16)",
+    ]);
+
+    let mut ratios = Vec::new();
+    for (name, problem) in [
+        ("MLP", mlp_problem(&args)),
+        ("CNN", cnn_problem(&args)),
+    ] {
+        // A short single-run training with 2 threads gathers the samples
+        // (the paper measures within its normal executions too).
+        let mut cfg = base_config(&args, Algorithm::Leashed { persistence: None }, 2);
+        cfg.epsilons = vec![0.01]; // don't stop early; let wall budget rule
+        cfg.max_wall = args.wall;
+        let r = train(&problem, &cfg);
+        let ms = 1e3;
+        let ratio = r.tc.mean() / r.tu.mean().max(1e-12);
+        let fluid = FluidModel::new(16.0, r.tc.mean(), r.tu.mean().max(1e-12));
+        table.row(vec![
+            name.to_string(),
+            format!("{}", problem.dim()),
+            format!("{:.2}ms", r.tc.mean() * ms),
+            format!("{:.2}..{:.2}ms", r.tc.min() * ms, r.tc.max() * ms),
+            format!("{:.3}ms", r.tu.mean() * ms),
+            format!("{:.3}..{:.3}ms", r.tu.min() * ms, r.tu.max() * ms),
+            format!("{ratio:.0}"),
+            format!("{:.4}", fluid.balance()),
+        ]);
+        ratios.push((name, ratio));
+    }
+    println!("{}", table.render());
+
+    let mlp_ratio = ratios[0].1;
+    let cnn_ratio = ratios[1].1;
+    println!(
+        "  shape check: CNN Tc/Tu ({cnn_ratio:.0}) {} MLP Tc/Tu ({mlp_ratio:.0}) — paper expects CNN >> MLP",
+        if cnn_ratio > mlp_ratio { ">" } else { "<= (MISMATCH)" }
+    );
+    print_expectation("Fig. 9");
+}

@@ -1,0 +1,49 @@
+//! Table I — the experiment matrix — plus Tables II/III (architectures)
+//! with their parameter-count fingerprints verified at runtime.
+
+use lsgd_metrics::table::Table;
+
+fn main() {
+    println!("=== Table I — summary of experiments (harness binaries) ===\n");
+    let mut t1 = Table::new(vec![
+        "Step", "Architecture", "Description", "Threads m", "Precision eps", "Step size eta",
+        "Harness target",
+    ]);
+    t1.row(vec![
+        "S1", "MLP", "Hyper-parameter selection", "1-68", "50%", "0.01-0.09",
+        "fig3_scalability + fig8_stepsize",
+    ]);
+    t1.row(vec![
+        "S2", "MLP", "High-precision convergence", "16", "50,10,5,2.5%", "0.005",
+        "fig4_precision (+fig5,fig6)",
+    ]);
+    t1.row(vec![
+        "S3", "CNN", "Convergence rate", "16", "75,50,25,10%", "0.005", "fig7_cnn",
+    ]);
+    t1.row(vec![
+        "S4", "MLP", "High parallelism", "24,34,68", "75,50,25,10%", "0.005",
+        "fig4_precision --threads=24,34,68",
+    ]);
+    t1.row(vec![
+        "S5", "MLP+CNN", "Memory consumption", "16,24,34", "any", "0.005", "fig10_memory",
+    ]);
+    println!("{}", t1.render());
+
+    println!("\n=== Table II — MLP architecture ===\n");
+    let mlp = lsgd_nn::mlp_mnist();
+    print!("{}", mlp.describe());
+    assert_eq!(mlp.param_len(), lsgd_nn::architectures::MLP_D);
+    println!(
+        "  ✓ parameter count matches the paper's d = {}\n",
+        lsgd_nn::architectures::MLP_D
+    );
+
+    println!("=== Table III — CNN architecture ===\n");
+    let cnn = lsgd_nn::cnn_mnist();
+    print!("{}", cnn.describe());
+    assert_eq!(cnn.param_len(), lsgd_nn::architectures::CNN_D);
+    println!(
+        "  ✓ parameter count matches the paper's d = {}",
+        lsgd_nn::architectures::CNN_D
+    );
+}

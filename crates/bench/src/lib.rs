@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # lsgd-bench — experiment harness for the Leashed-SGD reproduction
+//!
+//! One binary per paper figure/table (see DESIGN.md §4 for the full
+//! index). Each binary prints the same rows/series the paper plots, plus a
+//! `paper-vs-measured` note stating the published claim the output should
+//! be compared against.
+//!
+//! All binaries accept a common set of flags (see [`cli::Args`]):
+//!
+//! ```text
+//! --full            paper-scale parameters (68 threads, 11 reps, 60k samples)
+//! --threads=a,b,c   thread counts to sweep
+//! --reps=N          repetitions per configuration (paper: 11)
+//! --samples=N       dataset size (paper: 60,000)
+//! --batch=N         minibatch size (paper: 512)
+//! --wall=SECS       per-run wall-clock budget
+//! --seed=N          base RNG seed
+//! --csv=DIR         also write raw CSV series to DIR
+//! ```
+//!
+//! Defaults are scaled down so every figure regenerates in minutes on a
+//! small machine; `--full` restores the paper's parameters (expect hours,
+//! and a ≥36-core box for the high-parallelism points to be meaningful).
+
+pub mod cli;
+pub mod expect;
+pub mod workloads;
+
+pub use cli::Args;

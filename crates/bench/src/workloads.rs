@@ -1,0 +1,173 @@
+//! Workload construction and repeated-run helpers shared by the harness
+//! binaries.
+
+use crate::cli::Args;
+use lsgd_core::prelude::*;
+use lsgd_data::SynthDigits;
+use lsgd_metrics::BoxStats;
+use std::time::Duration;
+
+/// Builds the paper's MLP workload (Table II network on MNIST-format
+/// digits) at the scale requested by `args`.
+pub fn mlp_problem(args: &Args) -> NnProblem {
+    let data = SynthDigits::default().generate(args.samples, args.seed);
+    let eval = (args.samples / 4).clamp(256, 2048);
+    NnProblem::new(lsgd_nn::mlp_mnist(), data, args.batch, eval)
+}
+
+/// Builds the paper's CNN workload (Table III network).
+pub fn cnn_problem(args: &Args) -> NnProblem {
+    let data = SynthDigits::default().generate(args.samples, args.seed + 7);
+    let eval = (args.samples / 4).clamp(256, 2048);
+    NnProblem::new(lsgd_nn::cnn_mnist(), data, args.batch, eval)
+}
+
+/// A `TrainConfig` templated from the common args.
+pub fn base_config(args: &Args, algorithm: Algorithm, threads: usize) -> TrainConfig {
+    TrainConfig {
+        algorithm,
+        threads,
+        eta: args.eta,
+        epsilons: vec![0.5],
+        max_updates: u64::MAX,
+        max_wall: args.wall,
+        eval_every: Duration::from_millis(60),
+        seed: args.seed,
+        staleness_cap: 1024,
+        ..TrainConfig::default()
+    }
+}
+
+/// Outcome counts over a set of repetitions of one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RepSummary {
+    /// Wall-clock seconds of the converged runs, per ε (ordered as the
+    /// config's epsilons).
+    pub times: Vec<Vec<f64>>,
+    /// Diverged-run count per ε.
+    pub diverged: Vec<usize>,
+    /// Crashed-run count per ε.
+    pub crashed: Vec<usize>,
+    /// All run results (for staleness/memory/trace extraction).
+    pub runs: Vec<RunResult>,
+}
+
+impl RepSummary {
+    /// Box statistics of time-to-ε for threshold index `i`.
+    pub fn boxstats(&self, i: usize) -> Option<BoxStats> {
+        BoxStats::from_samples(&self.times[i])
+    }
+
+    /// `"med 1.23s"`, or the diverge/crash tally when nothing converged.
+    pub fn cell(&self, i: usize) -> String {
+        match self.boxstats(i) {
+            Some(b) => format!("{:.2}s (q1 {:.2}, q3 {:.2})", b.median, b.q1, b.q3),
+            None => format!("- (div {}, crash {})", self.diverged[i], self.crashed[i]),
+        }
+    }
+}
+
+/// Runs `reps` independent executions (distinct seeds) of one
+/// configuration and aggregates the per-ε outcomes.
+pub fn run_reps<P: Problem>(problem: &P, cfg: &TrainConfig, reps: usize) -> RepSummary {
+    let n_eps = cfg.epsilons.len();
+    let mut out = RepSummary {
+        times: vec![Vec::new(); n_eps],
+        diverged: vec![0; n_eps],
+        crashed: vec![0; n_eps],
+        runs: Vec::with_capacity(reps),
+    };
+    for rep in 0..reps {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(1000 * rep as u64);
+        let r = train(problem, &c);
+        for (i, (_, outcome)) in r.outcomes.iter().enumerate() {
+            match outcome {
+                lsgd_metrics::Outcome::Converged(d) => out.times[i].push(d.as_secs_f64()),
+                lsgd_metrics::Outcome::Diverged => out.diverged[i] += 1,
+                lsgd_metrics::Outcome::Crashed => out.crashed[i] += 1,
+            }
+        }
+        out.runs.push(r);
+    }
+    out
+}
+
+/// The algorithm lineup to benchmark: full paper lineup at `m = 1`
+/// (including SEQ), parallel lineup otherwise.
+pub fn lineup_for(threads: usize) -> Vec<Algorithm> {
+    if threads == 1 {
+        Algorithm::paper_lineup()
+    } else {
+        Algorithm::parallel_lineup()
+    }
+}
+
+/// Standard banner for harness binaries.
+pub fn banner(fig: &str, what: &str, args: &Args) {
+    println!("==============================================================");
+    println!("  {fig} — {what}");
+    println!(
+        "  scale: {} | samples {} | batch {} | eta {} | reps {} | wall {:?}",
+        if args.full { "FULL (paper)" } else { "quick" },
+        args.samples,
+        args.batch,
+        args.eta,
+        args.reps,
+        args.wall
+    );
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> Args {
+        Args {
+            samples: 200,
+            batch: 16,
+            wall: Duration::from_secs(3),
+            ..Args::default()
+        }
+    }
+
+    #[test]
+    fn mlp_problem_is_table_ii() {
+        let p = mlp_problem(&tiny_args());
+        assert_eq!(p.dim(), lsgd_nn::architectures::MLP_D);
+    }
+
+    #[test]
+    fn cnn_problem_is_table_iii() {
+        let p = cnn_problem(&tiny_args());
+        assert_eq!(p.dim(), lsgd_nn::architectures::CNN_D);
+    }
+
+    #[test]
+    fn lineup_includes_seq_only_single_threaded() {
+        assert_eq!(lineup_for(1).len(), 6);
+        assert_eq!(lineup_for(4).len(), 5);
+        assert!(!lineup_for(4).contains(&Algorithm::Sequential));
+    }
+
+    #[test]
+    fn run_reps_aggregates_outcomes() {
+        // A trivially convergent setup: blobs + tiny MLP.
+        let data = lsgd_data::blobs::gaussian_blobs(300, 6, 3, 0.3, 1);
+        let p = NnProblem::new(lsgd_nn::tiny_mlp(6, 12, 3), data, 16, 128);
+        let cfg = TrainConfig {
+            algorithm: Algorithm::Hogwild,
+            threads: 2,
+            eta: 0.2,
+            epsilons: vec![0.5],
+            max_wall: Duration::from_secs(5),
+            eval_every: Duration::from_millis(10),
+            ..TrainConfig::default()
+        };
+        let rs = run_reps(&p, &cfg, 2);
+        assert_eq!(rs.runs.len(), 2);
+        assert_eq!(rs.times[0].len() + rs.diverged[0] + rs.crashed[0], 2);
+        assert!(rs.boxstats(0).is_some(), "blobs should converge: {rs:?}");
+    }
+}

@@ -1,0 +1,107 @@
+//! The algorithm spectrum evaluated by the paper.
+
+use std::fmt;
+
+/// One of the parallel SGD algorithms from the paper's evaluation (§V):
+/// sequential SGD, lock-based AsyncSGD, HOGWILD!, and Leashed-SGD with a
+/// configurable persistence bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Single-threaded SGD (`SEQ`).
+    Sequential,
+    /// Lock-based AsyncSGD (`ASYNC`, Algorithm 2).
+    AsyncLock,
+    /// Synchronisation-free HOGWILD! (`HOG`, Algorithm 4).
+    Hogwild,
+    /// Leashed-SGD (Algorithm 3) with persistence bound `Tp`
+    /// (`None` = unbounded, the paper's `LSH_ps∞`).
+    Leashed {
+        /// Max failed CASes before an update is abandoned.
+        persistence: Option<u32>,
+    },
+}
+
+impl Algorithm {
+    /// The paper's label for this algorithm (as used in the figures).
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::Sequential => "SEQ".into(),
+            Algorithm::AsyncLock => "ASYNC".into(),
+            Algorithm::Hogwild => "HOG".into(),
+            Algorithm::Leashed { persistence: None } => "LSH_ps_inf".into(),
+            Algorithm::Leashed {
+                persistence: Some(tp),
+            } => format!("LSH_ps{tp}"),
+        }
+    }
+
+    /// True for Leashed-SGD variants.
+    pub fn is_leashed(&self) -> bool {
+        matches!(self, Algorithm::Leashed { .. })
+    }
+
+    /// The six algorithm configurations benchmarked in the paper's
+    /// evaluation section: SEQ, ASYNC, HOG, LSH_ps∞, LSH_ps1, LSH_ps0.
+    pub fn paper_lineup() -> Vec<Algorithm> {
+        vec![
+            Algorithm::Sequential,
+            Algorithm::AsyncLock,
+            Algorithm::Hogwild,
+            Algorithm::Leashed { persistence: None },
+            Algorithm::Leashed {
+                persistence: Some(1),
+            },
+            Algorithm::Leashed {
+                persistence: Some(0),
+            },
+        ]
+    }
+
+    /// The parallel lineup only (everything except SEQ).
+    pub fn parallel_lineup() -> Vec<Algorithm> {
+        Self::paper_lineup()[1..].to_vec()
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_conventions() {
+        assert_eq!(Algorithm::Sequential.label(), "SEQ");
+        assert_eq!(Algorithm::AsyncLock.label(), "ASYNC");
+        assert_eq!(Algorithm::Hogwild.label(), "HOG");
+        assert_eq!(
+            Algorithm::Leashed { persistence: None }.label(),
+            "LSH_ps_inf"
+        );
+        assert_eq!(
+            Algorithm::Leashed {
+                persistence: Some(0)
+            }
+            .label(),
+            "LSH_ps0"
+        );
+    }
+
+    #[test]
+    fn paper_lineup_has_six_entries() {
+        let lineup = Algorithm::paper_lineup();
+        assert_eq!(lineup.len(), 6);
+        assert_eq!(lineup[0], Algorithm::Sequential);
+        assert_eq!(Algorithm::parallel_lineup().len(), 5);
+    }
+
+    #[test]
+    fn is_leashed_discriminates() {
+        assert!(Algorithm::Leashed { persistence: None }.is_leashed());
+        assert!(!Algorithm::Hogwild.is_leashed());
+    }
+}

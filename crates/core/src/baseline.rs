@@ -1,0 +1,239 @@
+//! Shared parameter state for the baseline algorithms (paper Algorithms 2
+//! and 4): the lock-based AsyncSGD and the synchronisation-free HOGWILD!.
+
+use crate::mem::MemoryGauge;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lock-protected shared parameters — Algorithm 2. Reads (full copy) and
+/// updates are serialised through one mutex; a global sequence number
+/// provides the total order used for staleness measurement.
+pub struct LockedParams {
+    theta: Mutex<Vec<f32>>,
+    seq: AtomicU64,
+    gauge: Arc<MemoryGauge>,
+    bytes: usize,
+}
+
+impl LockedParams {
+    /// Wraps an initial parameter vector.
+    pub fn new(init: Vec<f32>, gauge: Arc<MemoryGauge>) -> Self {
+        let bytes = std::mem::size_of_val(init.as_slice());
+        gauge.add(bytes);
+        LockedParams {
+            theta: Mutex::new(init),
+            seq: AtomicU64::new(0),
+            gauge,
+            bytes,
+        }
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.theta.lock().len()
+    }
+
+    /// Copies the shared parameters into `dst` under the lock; returns the
+    /// sequence number of the copied state (Algorithm 2 lines 11–13).
+    pub fn read_into(&self, dst: &mut [f32]) -> u64 {
+        let guard = self.theta.lock();
+        dst.copy_from_slice(&guard);
+        // Read the seq while holding the lock: it labels this exact state.
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Applies `theta -= eta * grad` under the lock (Algorithm 2 lines
+    /// 15–17); returns the new sequence number.
+    pub fn update(&self, grad: &[f32], eta: f32) -> u64 {
+        let mut guard = self.theta.lock();
+        lsgd_tensor::ops::sgd_step(&mut guard, grad, eta);
+        self.seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Current sequence number.
+    pub fn current_seq(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// The memory gauge this state reports to.
+    pub fn gauge(&self) -> &Arc<MemoryGauge> {
+        &self.gauge
+    }
+}
+
+impl Drop for LockedParams {
+    fn drop(&mut self) {
+        self.gauge.sub(self.bytes);
+    }
+}
+
+/// Unsynchronised shared parameters — Algorithm 4 (HOGWILD!).
+///
+/// C++ HOGWILD! races plain `float` reads/writes; in Rust that is UB, so
+/// each component is an `AtomicU32` accessed with `Relaxed` bit-cast
+/// loads/stores — on x86 these compile to the same `mov` instructions the
+/// C++ emits, preserving the algorithm's behaviour (word-level atomicity,
+/// vector-level inconsistency) with defined semantics.
+pub struct HogwildParams {
+    theta: Box<[AtomicU32]>,
+    seq: AtomicU64,
+    gauge: Arc<MemoryGauge>,
+    bytes: usize,
+}
+
+impl HogwildParams {
+    /// Wraps an initial parameter vector.
+    pub fn new(init: &[f32], gauge: Arc<MemoryGauge>) -> Self {
+        let bytes = std::mem::size_of_val(init);
+        gauge.add(bytes);
+        HogwildParams {
+            theta: init.iter().map(|&v| AtomicU32::new(v.to_bits())).collect(),
+            seq: AtomicU64::new(0),
+            gauge,
+            bytes,
+        }
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Component read.
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        f32::from_bits(self.theta[i].load(Ordering::Relaxed))
+    }
+
+    /// Copies the (possibly inconsistent) current state into `dst` with
+    /// relaxed per-component loads; returns the sequence number observed
+    /// *before* the copy, matching the paper's staleness bookkeeping.
+    pub fn read_into(&self, dst: &mut [f32]) -> u64 {
+        let t = self.seq.load(Ordering::SeqCst);
+        for (d, a) in dst.iter_mut().zip(self.theta.iter()) {
+            *d = f32::from_bits(a.load(Ordering::Relaxed));
+        }
+        t
+    }
+
+    /// The HOGWILD! update: component-wise racy read-modify-write
+    /// `theta[i] -= eta * grad[i]` with no coordination (Algorithm 1 line
+    /// 15–18 applied directly to the shared vector). Returns the new
+    /// sequence number (`FetchAndAdd`, as in Algorithm 1 line 16).
+    pub fn update(&self, grad: &[f32], eta: f32) -> u64 {
+        let t = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        for (a, &g) in self.theta.iter().zip(grad) {
+            // Racy RMW, exactly like the unsynchronised C++: concurrent
+            // updates to the same component can be lost.
+            let cur = f32::from_bits(a.load(Ordering::Relaxed));
+            a.store((cur - eta * g).to_bits(), Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Current sequence number.
+    pub fn current_seq(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// The memory gauge this state reports to.
+    pub fn gauge(&self) -> &Arc<MemoryGauge> {
+        &self.gauge
+    }
+}
+
+impl Drop for HogwildParams {
+    fn drop(&mut self) {
+        self.gauge.sub(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauge() -> Arc<MemoryGauge> {
+        Arc::new(MemoryGauge::new())
+    }
+
+    #[test]
+    fn locked_read_after_update() {
+        let p = LockedParams::new(vec![1.0; 4], gauge());
+        let t0 = p.update(&[1.0, 1.0, 1.0, 1.0], 0.5);
+        assert_eq!(t0, 1);
+        let mut buf = vec![0.0; 4];
+        let t = p.read_into(&mut buf);
+        assert_eq!(t, 1);
+        assert_eq!(buf, vec![0.5; 4]);
+    }
+
+    #[test]
+    fn locked_updates_are_serialised() {
+        let p = Arc::new(LockedParams::new(vec![0.0; 8], gauge()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        p.update(&[-1.0; 8], 1.0); // += 1 per component
+                    }
+                });
+            }
+        });
+        let mut buf = vec![0.0; 8];
+        p.read_into(&mut buf);
+        assert_eq!(p.current_seq(), 4000);
+        // Mutex-serialised updates lose nothing.
+        assert!(buf.iter().all(|&v| v == 4000.0), "{buf:?}");
+    }
+
+    #[test]
+    fn hogwild_single_thread_matches_sgd() {
+        let p = HogwildParams::new(&[1.0, 2.0], gauge());
+        p.update(&[0.5, -0.5], 0.2);
+        assert!((p.get(0) - 0.9).abs() < 1e-7);
+        assert!((p.get(1) - 2.1).abs() < 1e-7);
+        assert_eq!(p.current_seq(), 1);
+    }
+
+    #[test]
+    fn hogwild_concurrent_updates_may_lose_but_stay_finite() {
+        let p = Arc::new(HogwildParams::new(&vec![0.0; 64], gauge()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    for _ in 0..2000 {
+                        p.update(&[-1.0; 64], 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.current_seq(), 8000);
+        let mut buf = vec![0.0; 64];
+        p.read_into(&mut buf);
+        for &v in &buf {
+            // Lost updates are allowed (that is HOGWILD!'s deal) but the
+            // value must be finite, word-atomic, and at most the total.
+            assert!(v.is_finite());
+            assert!(v <= 8000.0 + 0.5);
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn gauges_track_shared_buffer_lifetime() {
+        let g = gauge();
+        {
+            let _p = LockedParams::new(vec![0.0; 100], Arc::clone(&g));
+            assert_eq!(g.live(), 400);
+        }
+        assert_eq!(g.live(), 0);
+        {
+            let _p = HogwildParams::new(&[0.0; 25], Arc::clone(&g));
+            assert_eq!(g.live(), 100);
+        }
+        assert_eq!(g.live(), 0);
+    }
+}

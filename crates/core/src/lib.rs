@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+//! # lsgd-core — Leashed-SGD: consistent lock-free parallel SGD
+//!
+//! Rust implementation of the IPDPS 2021 paper *"Consistent Lock-free
+//! Parallel Stochastic Gradient Descent for Fast and Stable Convergence"*
+//! (Bäckström, Walulya, Papatriantafilou, Tsigas).
+//!
+//! The crate provides:
+//!
+//! * [`paramvec`] — the **ParameterVector** shared data structure
+//!   (Algorithm 1) with safe lock-free memory recycling, and the
+//!   **LAU-SPC** publication loop of **Leashed-SGD** (Algorithm 3) with a
+//!   configurable persistence bound `Tp`.
+//! * [`baseline`] — the evaluated baselines: lock-based AsyncSGD
+//!   (Algorithm 2) and HOGWILD! (Algorithm 4).
+//! * [`trainer`] — the `m`-thread asynchronous training executor with the
+//!   paper's full measurement instrumentation (staleness distributions,
+//!   `Tc`/`Tu` timings, ε-convergence with Crash/Diverge classification,
+//!   memory accounting).
+//! * [`problem`] — the optimisation-problem abstraction; DL problems
+//!   (MLP/CNN on image data) and convex regression problems ship ready.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lsgd_core::prelude::*;
+//!
+//! // A small classification problem (3 Gaussian blobs).
+//! let data = lsgd_data::blobs::gaussian_blobs(600, 6, 3, 0.3, 42);
+//! let net = lsgd_nn::tiny_mlp(6, 16, 3);
+//! let problem = NnProblem::new(net, data, 32, 256);
+//!
+//! // Train with Leashed-SGD, persistence bound 1, two workers.
+//! let cfg = TrainConfig {
+//!     algorithm: Algorithm::Leashed { persistence: Some(1) },
+//!     threads: 2,
+//!     eta: 0.1,
+//!     epsilons: vec![0.5],
+//!     max_wall: std::time::Duration::from_secs(10),
+//!     ..TrainConfig::default()
+//! };
+//! let result = train(&problem, &cfg);
+//! assert!(result.published > 0);
+//! println!("{}", result.summary());
+//! ```
+
+pub mod algorithm;
+pub mod baseline;
+pub mod mem;
+pub mod paramvec;
+pub mod pool;
+pub mod problem;
+pub mod result;
+pub mod sparsify;
+pub mod trainer;
+
+pub use algorithm::Algorithm;
+pub use paramvec::{LeashedShared, PublishOutcome, ReadGuard};
+pub use problem::{NnProblem, Problem, RegressionProblem};
+pub use result::RunResult;
+pub use trainer::{train, EtaPolicy, TrainConfig};
+
+/// Convenient glob import for examples and harnesses.
+pub mod prelude {
+    pub use crate::algorithm::Algorithm;
+    pub use crate::problem::{NnProblem, Problem, RegressionProblem};
+    pub use crate::result::RunResult;
+    pub use crate::trainer::{train, EtaPolicy, TrainConfig};
+}

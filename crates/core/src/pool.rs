@@ -1,0 +1,305 @@
+//! Lock-free recycling pool for `theta` buffers.
+//!
+//! Leashed-SGD allocates a fresh ParameterVector for every update and
+//! relies on recycling to bound memory (paper §III P2, Lemma 2). This pool
+//! provides the recycling: buffers released by `safe_delete` go onto a
+//! lock-free free list and are handed back out to subsequent allocations,
+//! so steady-state execution performs no heap allocation at all.
+//!
+//! Buffers are fixed-dimension `d` `f32` arrays, passed around as raw
+//! pointers because ownership moves through the lock-free ParameterVector
+//! protocol rather than through Rust scopes. The pool itself retains
+//! logical ownership of every buffer it ever created and frees them all on
+//! drop, so nothing leaks even if callers lose track of outstanding
+//! buffers (as happens to the final published vector of a run).
+//!
+//! For the `ablation_recycling` experiment the pool can be built with
+//! recycling disabled ([`BufferPool::new_with_recycling`]): every release
+//! then frees eagerly and every acquire heap-allocates — the behaviour of
+//! a naive implementation of Algorithm 3's `new ParamVector()`.
+
+use crate::mem::MemoryGauge;
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A recycling allocator of `f32` buffers of one fixed dimension.
+pub struct BufferPool {
+    dim: usize,
+    recycle: bool,
+    free: SegQueue<usize>,
+    /// Every currently-allocated buffer (addresses), for final
+    /// reclamation and for eager-free bookkeeping. Locked only on fresh
+    /// allocation / eager free — never on the recycled fast path.
+    registry: Mutex<HashSet<usize>>,
+    outstanding: AtomicUsize,
+    outstanding_peak: AtomicUsize,
+    gauge: Arc<MemoryGauge>,
+}
+
+impl BufferPool {
+    /// Creates a recycling pool of `dim`-length buffers reporting to
+    /// `gauge`.
+    pub fn new(dim: usize, gauge: Arc<MemoryGauge>) -> Self {
+        Self::new_with_recycling(dim, gauge, true)
+    }
+
+    /// Creates a pool with recycling switched on or off (off = eager
+    /// free + fresh allocation each time; used by the recycling ablation).
+    pub fn new_with_recycling(dim: usize, gauge: Arc<MemoryGauge>, recycle: bool) -> Self {
+        assert!(dim > 0, "buffer dimension must be positive");
+        BufferPool {
+            dim,
+            recycle,
+            free: SegQueue::new(),
+            registry: Mutex::new(HashSet::new()),
+            outstanding: AtomicUsize::new(0),
+            outstanding_peak: AtomicUsize::new(0),
+            gauge,
+        }
+    }
+
+    /// Buffer dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bytes per buffer.
+    pub fn buf_bytes(&self) -> usize {
+        self.dim * std::mem::size_of::<f32>()
+    }
+
+    /// Whether recycling is enabled.
+    pub fn recycling(&self) -> bool {
+        self.recycle
+    }
+
+    /// Acquires a buffer (recycled when possible). Contents are
+    /// unspecified; callers always fully overwrite.
+    pub fn acquire(&self) -> *mut f32 {
+        let ptr = if let Some(addr) = self.free.pop() {
+            self.gauge.note_reuse();
+            addr as *mut f32
+        } else {
+            let boxed: Box<[f32]> = vec![0.0f32; self.dim].into_boxed_slice();
+            let ptr = Box::into_raw(boxed) as *mut f32;
+            self.gauge.add(self.buf_bytes());
+            self.registry.lock().insert(ptr as usize);
+            ptr
+        };
+        let out = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut peak = self.outstanding_peak.load(Ordering::Relaxed);
+        while out > peak {
+            match self.outstanding_peak.compare_exchange_weak(
+                peak,
+                out,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(p) => peak = p,
+            }
+        }
+        ptr
+    }
+
+    /// Returns a buffer: to the free list (recycling mode) or to the heap
+    /// (eager mode).
+    ///
+    /// # Safety
+    /// `ptr` must have been produced by [`BufferPool::acquire`] on this
+    /// pool and must not be accessed after release.
+    pub unsafe fn release(&self, ptr: *mut f32) {
+        debug_assert!(!ptr.is_null());
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        if self.recycle {
+            self.free.push(ptr as usize);
+        } else {
+            let removed = self.registry.lock().remove(&(ptr as usize));
+            debug_assert!(removed, "released pointer not owned by this pool");
+            let slice: *mut [f32] = std::ptr::slice_from_raw_parts_mut(ptr, self.dim);
+            drop(Box::from_raw(slice));
+            self.gauge.sub(self.buf_bytes());
+        }
+    }
+
+    /// Buffers currently held by callers (not on the free list).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently outstanding buffers — the quantity
+    /// Lemma 2 bounds by `3m`.
+    pub fn outstanding_peak(&self) -> usize {
+        self.outstanding_peak.load(Ordering::Relaxed)
+    }
+
+    /// The memory gauge this pool reports to.
+    pub fn gauge(&self) -> &Arc<MemoryGauge> {
+        &self.gauge
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // Reclaim every buffer the pool still owns, whether or not it was
+        // returned — the pool outlives all users (it is dropped only after
+        // the training scope joins all workers). The free list holds a
+        // subset of the registry, so draining the registry frees
+        // everything exactly once.
+        let registry = std::mem::take(&mut *self.registry.lock());
+        for addr in registry {
+            let ptr = addr as *mut f32;
+            // SAFETY: allocated by `acquire` via Box<[f32]> of len dim and
+            // not yet freed (eager frees remove themselves from the
+            // registry).
+            unsafe {
+                let slice: *mut [f32] = std::ptr::slice_from_raw_parts_mut(ptr, self.dim);
+                drop(Box::from_raw(slice));
+            }
+            self.gauge.sub(self.buf_bytes());
+        }
+    }
+}
+
+// SAFETY: the queues store plain addresses; buffer ownership transfer is
+// governed by the ParameterVector protocol (see paramvec.rs safety notes).
+unsafe impl Send for BufferPool {}
+unsafe impl Sync for BufferPool {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(dim: usize) -> BufferPool {
+        BufferPool::new(dim, Arc::new(MemoryGauge::new()))
+    }
+
+    #[test]
+    fn acquire_allocates_then_recycles() {
+        let p = pool(64);
+        let a = p.acquire();
+        assert_eq!(p.gauge().total_allocs(), 1);
+        unsafe { p.release(a) };
+        let b = p.acquire();
+        assert_eq!(b, a, "freed buffer should be recycled");
+        assert_eq!(p.gauge().total_allocs(), 1);
+        assert_eq!(p.gauge().pool_reuses(), 1);
+        unsafe { p.release(b) };
+    }
+
+    #[test]
+    fn outstanding_and_peak_counters() {
+        let p = pool(8);
+        let a = p.acquire();
+        let b = p.acquire();
+        assert_eq!(p.outstanding(), 2);
+        unsafe { p.release(a) };
+        assert_eq!(p.outstanding(), 1);
+        assert_eq!(p.outstanding_peak(), 2);
+        unsafe { p.release(b) };
+        assert_eq!(p.outstanding(), 0);
+    }
+
+    #[test]
+    fn gauge_counts_bytes() {
+        let g = Arc::new(MemoryGauge::new());
+        let p = BufferPool::new(100, Arc::clone(&g));
+        let a = p.acquire();
+        assert_eq!(g.live(), 400);
+        let b = p.acquire();
+        assert_eq!(g.live(), 800);
+        unsafe {
+            p.release(a);
+            p.release(b);
+        }
+        // Released buffers stay owned by the pool until drop.
+        assert_eq!(g.live(), 800);
+        drop(p);
+        assert_eq!(g.live(), 0);
+    }
+
+    #[test]
+    fn drop_reclaims_outstanding_buffers_too() {
+        let g = Arc::new(MemoryGauge::new());
+        {
+            let p = BufferPool::new(10, Arc::clone(&g));
+            let _leaked_by_caller = p.acquire();
+            assert_eq!(g.live(), 40);
+        }
+        assert_eq!(g.live(), 0, "pool drop must free unreturned buffers");
+    }
+
+    #[test]
+    fn no_recycle_mode_frees_eagerly() {
+        let g = Arc::new(MemoryGauge::new());
+        let p = BufferPool::new_with_recycling(16, Arc::clone(&g), false);
+        assert!(!p.recycling());
+        let a = p.acquire();
+        assert_eq!(g.live(), 64);
+        unsafe { p.release(a) };
+        assert_eq!(g.live(), 0, "eager mode frees on release");
+        let b = p.acquire();
+        assert_eq!(g.total_allocs(), 2, "no reuse in eager mode");
+        assert_eq!(g.pool_reuses(), 0);
+        unsafe { p.release(b) };
+        drop(p);
+        assert_eq!(g.live(), 0);
+    }
+
+    #[test]
+    fn no_recycle_drop_frees_outstanding() {
+        let g = Arc::new(MemoryGauge::new());
+        {
+            let p = BufferPool::new_with_recycling(16, Arc::clone(&g), false);
+            let _held = p.acquire();
+            assert_eq!(g.live(), 64);
+        }
+        assert_eq!(g.live(), 0);
+    }
+
+    #[test]
+    fn concurrent_acquire_release_is_balanced() {
+        for recycle in [true, false] {
+            let p = Arc::new(BufferPool::new_with_recycling(
+                32,
+                Arc::new(MemoryGauge::new()),
+                recycle,
+            ));
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let p = Arc::clone(&p);
+                    s.spawn(move || {
+                        let mut held = Vec::new();
+                        for i in 0..2000 {
+                            held.push(p.acquire());
+                            if (i + t) % 3 == 0 {
+                                if let Some(ptr) = held.pop() {
+                                    unsafe { p.release(ptr) };
+                                }
+                            }
+                            while held.len() > 4 {
+                                let ptr = held.remove(0);
+                                unsafe { p.release(ptr) };
+                            }
+                        }
+                        for ptr in held {
+                            unsafe { p.release(ptr) };
+                        }
+                    });
+                }
+            });
+            assert_eq!(p.outstanding(), 0);
+            assert!(p.outstanding_peak() <= 4 * 5);
+            if recycle {
+                // Steady state should be dominated by reuse.
+                assert!(p.gauge().pool_reuses() > p.gauge().total_allocs());
+            } else {
+                assert_eq!(p.gauge().pool_reuses(), 0);
+                assert_eq!(p.gauge().live(), 0);
+            }
+        }
+    }
+}

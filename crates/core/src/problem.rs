@@ -1,0 +1,293 @@
+//! The optimisation-problem abstraction the SGD algorithms train on.
+//!
+//! The paper's framework is "application-specific [but applies] as
+//! parallelization of SGD for any optimization problem" (§V.1): the
+//! algorithms only ever see a flat parameter vector and a stochastic
+//! gradient oracle. [`Problem`] captures exactly that interface;
+//! [`NnProblem`] instantiates it with the paper's DL workloads (network ×
+//! dataset × minibatch), and [`RegressionProblem`] with the convex
+//! workload class HOGWILD! was originally built for.
+
+use lsgd_data::regression::RegressionData;
+use lsgd_data::Dataset;
+use lsgd_nn::Network;
+use lsgd_tensor::{Matrix, SmallRng64};
+
+/// A stochastic optimisation problem over a flat `f32` parameter vector.
+pub trait Problem: Send + Sync {
+    /// Per-thread scratch state (workspaces, batch buffers).
+    type Scratch: Send;
+
+    /// Parameter dimension `d`.
+    fn dim(&self) -> usize;
+
+    /// Samples the initial parameter vector (the paper's `rand_init`).
+    fn init_theta(&self, seed: u64) -> Vec<f32>;
+
+    /// Creates per-thread scratch.
+    fn scratch(&self) -> Self::Scratch;
+
+    /// Computes a stochastic minibatch gradient of the loss at `theta`
+    /// into `grad` (overwriting it); returns the minibatch loss.
+    fn grad(
+        &self,
+        theta: &[f32],
+        grad: &mut [f32],
+        scratch: &mut Self::Scratch,
+        rng: &mut SmallRng64,
+    ) -> f32;
+
+    /// Deterministic evaluation loss used for ε-convergence tracking.
+    fn eval_loss(&self, theta: &[f32], scratch: &mut Self::Scratch) -> f64;
+}
+
+/// The paper's DL workloads: a [`Network`] trained on a [`Dataset`] with
+/// uniformly sampled minibatches; evaluation loss on a fixed subset.
+pub struct NnProblem {
+    net: Network,
+    data: Dataset,
+    eval: Dataset,
+    batch: usize,
+}
+
+/// Scratch for [`NnProblem`]: forward/backward workspace + batch buffers.
+pub struct NnScratch {
+    ws: lsgd_nn::Workspace,
+    x: Matrix,
+    y: Vec<u8>,
+}
+
+impl NnProblem {
+    /// Bundles a network with training data. `eval_subset` bounds the
+    /// evaluation set size (the convergence monitor's cost per check).
+    ///
+    /// # Panics
+    /// Panics if dataset dimension does not match the network input.
+    pub fn new(net: Network, data: Dataset, batch: usize, eval_subset: usize) -> Self {
+        assert_eq!(data.dim(), net.in_dim(), "data/network dimension mismatch");
+        assert!(batch > 0 && !data.is_empty());
+        let eval = data.head(eval_subset.max(1));
+        NnProblem {
+            net,
+            data,
+            eval,
+            batch,
+        }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The training dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Minibatch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Classification accuracy of `theta` on the evaluation subset.
+    pub fn eval_accuracy(&self, theta: &[f32], scratch: &mut NnScratch) -> f32 {
+        self.net
+            .accuracy(theta, &self.eval.images, &self.eval.labels, &mut scratch.ws)
+    }
+}
+
+impl Problem for NnProblem {
+    type Scratch = NnScratch;
+
+    fn dim(&self) -> usize {
+        self.net.param_len()
+    }
+
+    fn init_theta(&self, seed: u64) -> Vec<f32> {
+        self.net.init_params(seed)
+    }
+
+    fn scratch(&self) -> NnScratch {
+        let max_batch = self.batch.max(self.eval.len());
+        NnScratch {
+            ws: self.net.workspace(max_batch),
+            x: Matrix::zeros(self.batch, self.data.dim()),
+            y: Vec::with_capacity(self.batch),
+        }
+    }
+
+    fn grad(
+        &self,
+        theta: &[f32],
+        grad: &mut [f32],
+        scratch: &mut NnScratch,
+        rng: &mut SmallRng64,
+    ) -> f32 {
+        self.data.sample_batch(rng, &mut scratch.x, &mut scratch.y);
+        self.net
+            .loss_grad(theta, &scratch.x, &scratch.y, grad, &mut scratch.ws)
+    }
+
+    fn eval_loss(&self, theta: &[f32], scratch: &mut NnScratch) -> f64 {
+        self.net
+            .loss(theta, &self.eval.images, &self.eval.labels, &mut scratch.ws) as f64
+    }
+}
+
+/// Convex least-squares problem over [`RegressionData`] minibatches.
+pub struct RegressionProblem {
+    data: RegressionData,
+    batch: usize,
+    init_scale: f32,
+}
+
+impl RegressionProblem {
+    /// Wraps a regression instance with the given minibatch size.
+    pub fn new(data: RegressionData, batch: usize) -> Self {
+        assert!(batch > 0 && !data.is_empty());
+        RegressionProblem {
+            data,
+            batch,
+            init_scale: 0.0,
+        }
+    }
+
+    /// The wrapped data.
+    pub fn data(&self) -> &RegressionData {
+        &self.data
+    }
+}
+
+impl Problem for RegressionProblem {
+    type Scratch = Vec<f32>; // per-sample gradient accumulator
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn init_theta(&self, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng64::new(seed);
+        (0..self.data.dim())
+            .map(|_| rng.next_normal() * self.init_scale)
+            .collect()
+    }
+
+    fn scratch(&self) -> Vec<f32> {
+        vec![0.0; self.data.dim()]
+    }
+
+    fn grad(
+        &self,
+        theta: &[f32],
+        grad: &mut [f32],
+        scratch: &mut Vec<f32>,
+        rng: &mut SmallRng64,
+    ) -> f32 {
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        let mut loss = 0.0f32;
+        for _ in 0..self.batch {
+            let i = rng.next_below(self.data.len());
+            self.data.sample_grad(i, theta, scratch);
+            let inv = 1.0 / self.batch as f32;
+            lsgd_tensor::ops::axpy(inv, scratch, grad);
+            let pred = lsgd_tensor::ops::dot(self.data.x.row(i), theta);
+            let e = pred - self.data.y[i];
+            loss += e * e * inv;
+        }
+        loss
+    }
+
+    fn eval_loss(&self, theta: &[f32], _scratch: &mut Vec<f32>) -> f64 {
+        self.data.mse(theta) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsgd_data::blobs::gaussian_blobs;
+    use lsgd_data::regression::dense_regression;
+    use lsgd_nn::tiny_mlp;
+
+    fn blob_problem() -> NnProblem {
+        let data = gaussian_blobs(300, 6, 3, 0.3, 1);
+        NnProblem::new(tiny_mlp(6, 16, 3), data, 32, 128)
+    }
+
+    #[test]
+    fn dims_line_up() {
+        let p = blob_problem();
+        assert_eq!(p.dim(), 6 * 16 + 16 + 16 * 3 + 3);
+        assert_eq!(p.init_theta(0).len(), p.dim());
+    }
+
+    #[test]
+    fn eval_loss_starts_near_log_k() {
+        let p = blob_problem();
+        let theta = p.init_theta(1);
+        let mut s = p.scratch();
+        let l = p.eval_loss(&theta, &mut s);
+        assert!((l - (3f64).ln()).abs() < 0.1, "initial loss {l}");
+    }
+
+    #[test]
+    fn sgd_loop_on_problem_converges() {
+        let p = blob_problem();
+        let mut theta = p.init_theta(2);
+        let mut s = p.scratch();
+        let mut rng = SmallRng64::new(3);
+        let mut grad = vec![0.0; p.dim()];
+        let initial = p.eval_loss(&theta, &mut s);
+        for _ in 0..400 {
+            p.grad(&theta, &mut grad, &mut s, &mut rng);
+            lsgd_tensor::ops::sgd_step(&mut theta, &grad, 0.2);
+        }
+        let fin = p.eval_loss(&theta, &mut s);
+        assert!(fin < initial * 0.4, "{initial} -> {fin}");
+    }
+
+    #[test]
+    fn grad_is_deterministic_given_rng_state() {
+        let p = blob_problem();
+        let theta = p.init_theta(4);
+        let mut s = p.scratch();
+        let mut g1 = vec![0.0; p.dim()];
+        let mut g2 = vec![0.0; p.dim()];
+        p.grad(&theta, &mut g1, &mut s, &mut SmallRng64::new(9));
+        p.grad(&theta, &mut g2, &mut s, &mut SmallRng64::new(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn regression_problem_gradient_descends() {
+        let p = RegressionProblem::new(dense_regression(400, 8, 0.05, 5), 16);
+        let mut theta = p.init_theta(0);
+        let mut s = p.scratch();
+        let mut rng = SmallRng64::new(1);
+        let mut grad = vec![0.0; p.dim()];
+        let initial = p.eval_loss(&theta, &mut s);
+        for _ in 0..1500 {
+            p.grad(&theta, &mut grad, &mut s, &mut rng);
+            lsgd_tensor::ops::sgd_step(&mut theta, &grad, 0.02);
+        }
+        let fin = p.eval_loss(&theta, &mut s);
+        assert!(fin < initial * 0.05, "{initial} -> {fin}");
+    }
+
+    #[test]
+    fn eval_accuracy_improves_with_training() {
+        let p = blob_problem();
+        let mut theta = p.init_theta(6);
+        let mut s = p.scratch();
+        let acc0 = p.eval_accuracy(&theta, &mut s);
+        let mut rng = SmallRng64::new(7);
+        let mut grad = vec![0.0; p.dim()];
+        for _ in 0..600 {
+            p.grad(&theta, &mut grad, &mut s, &mut rng);
+            lsgd_tensor::ops::sgd_step(&mut theta, &grad, 0.2);
+        }
+        let acc1 = p.eval_accuracy(&theta, &mut s);
+        assert!(acc1 > acc0.max(0.8), "accuracy {acc0} -> {acc1}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Results of one training run: everything the paper's figures plot.
+
+use crate::algorithm::Algorithm;
+use lsgd_metrics::{Histogram, OnlineStats, Outcome, Series};
+use std::time::Duration;
+
+/// Aggregated outcome of a [`crate::trainer::train`] run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The algorithm configuration.
+    pub algorithm: Algorithm,
+    /// Number of worker threads `m`.
+    pub threads: usize,
+    /// Loss at initialisation `f(θ₀)`.
+    pub initial_loss: f64,
+    /// Loss at the last monitor observation.
+    pub final_loss: f64,
+    /// Best (lowest) observed loss.
+    pub best_loss: f64,
+    /// True if the run hit numerical instability (paper's "Crash").
+    pub crashed: bool,
+    /// Per-ε outcome: `(fraction, Converged(time)/Diverged/Crashed)`.
+    pub outcomes: Vec<(f64, Outcome)>,
+    /// Published updates at the moment each ε was reached (statistical
+    /// efficiency, Fig. 8 right).
+    pub iters_to_eps: Vec<(f64, Option<u64>)>,
+    /// Evaluation loss over wall-clock time (Fig. 5).
+    pub loss_trace: Series,
+    /// Live ParameterVector bytes over time (Fig. 10).
+    pub mem_trace: Series,
+    /// Total staleness distribution τ (Fig. 6).
+    pub staleness: Histogram,
+    /// Scheduling staleness τs (Leashed-SGD; §IV.2).
+    pub tau_s: Histogram,
+    /// Successfully published updates.
+    pub published: u64,
+    /// Updates abandoned via the persistence bound.
+    pub aborted: u64,
+    /// Total failed CAS attempts (Leashed-SGD).
+    pub failed_cas: u64,
+    /// Gradient computation time Tc in seconds (Fig. 9 left).
+    pub tc: OnlineStats,
+    /// Update application time Tu in seconds (Fig. 9 right).
+    pub tu: OnlineStats,
+    /// Full iteration latency in seconds (Fig. 3 right).
+    pub iter_time: OnlineStats,
+    /// Total wall-clock duration of the run.
+    pub wall: Duration,
+    /// Peak live parameter-buffer bytes.
+    pub mem_peak_bytes: usize,
+    /// Peak concurrently-outstanding pool buffers (Leashed; Lemma 2).
+    pub pool_outstanding_peak: usize,
+    /// Fresh parameter-buffer allocations during the run.
+    pub mem_allocs: u64,
+    /// Buffer reuses served by the recycling pool.
+    pub mem_reuses: u64,
+}
+
+impl RunResult {
+    /// Wall-clock seconds to reach the ε fraction, if converged.
+    pub fn time_to(&self, fraction: f64) -> Option<f64> {
+        self.outcomes
+            .iter()
+            .find(|(f, _)| (*f - fraction).abs() < 1e-12)
+            .and_then(|(_, o)| o.secs())
+    }
+
+    /// Outcome for the ε fraction.
+    pub fn outcome_for(&self, fraction: f64) -> Option<Outcome> {
+        self.outcomes
+            .iter()
+            .find(|(f, _)| (*f - fraction).abs() < 1e-12)
+            .map(|(_, o)| *o)
+    }
+
+    /// Published updates per second (throughput).
+    pub fn updates_per_sec(&self) -> f64 {
+        self.published as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// True if every tracked ε was reached.
+    pub fn fully_converged(&self) -> bool {
+        self.outcomes.iter().all(|(_, o)| o.converged())
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        let conv: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|(f, o)| match o {
+                Outcome::Converged(d) => format!("{:.0}%:{:.2}s", f * 100.0, d.as_secs_f64()),
+                Outcome::Diverged => format!("{:.0}%:div", f * 100.0),
+                Outcome::Crashed => format!("{:.0}%:crash", f * 100.0),
+            })
+            .collect();
+        format!(
+            "{} m={} upd={} ({:.0}/s) abort={} loss {:.3}->{:.3} [{}] stale(mean {:.1}) mem {}KB",
+            self.algorithm.label(),
+            self.threads,
+            self.published,
+            self.updates_per_sec(),
+            self.aborted,
+            self.initial_loss,
+            self.final_loss,
+            conv.join(" "),
+            self.staleness.mean(),
+            self.mem_peak_bytes / 1024,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> RunResult {
+        RunResult {
+            algorithm: Algorithm::Hogwild,
+            threads: 4,
+            initial_loss: 2.3,
+            final_loss: 0.5,
+            best_loss: 0.4,
+            crashed: false,
+            outcomes: vec![
+                (0.5, Outcome::Converged(Duration::from_secs_f64(1.5))),
+                (0.1, Outcome::Diverged),
+            ],
+            iters_to_eps: vec![(0.5, Some(100)), (0.1, None)],
+            loss_trace: Series::new(),
+            mem_trace: Series::new(),
+            staleness: Histogram::new(8),
+            tau_s: Histogram::new(8),
+            published: 500,
+            aborted: 0,
+            failed_cas: 3,
+            tc: OnlineStats::new(),
+            tu: OnlineStats::new(),
+            iter_time: OnlineStats::new(),
+            wall: Duration::from_secs(2),
+            mem_peak_bytes: 4096,
+            pool_outstanding_peak: 0,
+            mem_allocs: 0,
+            mem_reuses: 0,
+        }
+    }
+
+    #[test]
+    fn time_to_finds_matching_fraction() {
+        let r = dummy();
+        assert_eq!(r.time_to(0.5), Some(1.5));
+        assert_eq!(r.time_to(0.1), None);
+        assert_eq!(r.time_to(0.9), None);
+    }
+
+    #[test]
+    fn throughput_is_published_over_wall() {
+        let r = dummy();
+        assert!((r.updates_per_sec() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_converged_requires_all() {
+        let mut r = dummy();
+        assert!(!r.fully_converged());
+        r.outcomes = vec![(0.5, Outcome::Converged(Duration::from_secs(1)))];
+        assert!(r.fully_converged());
+    }
+
+    #[test]
+    fn summary_mentions_algorithm_and_outcomes() {
+        let s = dummy().summary();
+        assert!(s.contains("HOG"));
+        assert!(s.contains("50%:1.50s"));
+        assert!(s.contains("10%:div"));
+    }
+}

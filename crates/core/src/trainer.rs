@@ -1,0 +1,533 @@
+//! The parallel training executor.
+//!
+//! [`train`] runs `m` asynchronous worker threads executing one of the
+//! paper's algorithms against a [`Problem`], while the calling thread acts
+//! as the convergence monitor: it periodically snapshots the shared
+//! parameters, evaluates the loss, drives the ε-convergence tracker
+//! (including the Crash/Diverge classification of §V.2) and samples the
+//! memory gauge. Workers record per-update staleness, `Tc`/`Tu` timings
+//! and iteration latency — the raw series behind every figure in the
+//! paper's evaluation.
+
+use crate::algorithm::Algorithm;
+use crate::baseline::{HogwildParams, LockedParams};
+use crate::mem::MemoryGauge;
+use crate::paramvec::{LeashedShared, PublishOutcome};
+use crate::pool::BufferPool;
+use crate::problem::Problem;
+use crate::result::RunResult;
+use lsgd_metrics::{ConvergenceTracker, Histogram, OnlineStats, Series};
+use lsgd_tensor::SmallRng64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Step-size policy — `Constant` reproduces the paper; `TauAdaptive`
+/// implements the staleness-adaptive direction the paper cites as
+/// orthogonal, complementary work (its refs [4], [33], [38], [43]):
+/// the effective step of an update with estimated staleness `τ` is
+/// `η / (1 + β·τ)`, damping stale updates instead of discarding them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EtaPolicy {
+    /// Fixed step size (the paper's setting).
+    Constant,
+    /// `η_eff = η / (1 + beta · τ_est)` with `τ_est` the number of
+    /// updates published since this worker read its parameters.
+    TauAdaptive {
+        /// Damping strength β (0 recovers `Constant`).
+        beta: f64,
+    },
+}
+
+impl EtaPolicy {
+    /// Effective step size for an update with estimated staleness `tau`.
+    #[inline]
+    pub fn effective(&self, eta: f32, tau: u64) -> f32 {
+        match self {
+            EtaPolicy::Constant => eta,
+            EtaPolicy::TauAdaptive { beta } => {
+                (eta as f64 / (1.0 + beta * tau as f64)) as f32
+            }
+        }
+    }
+}
+
+/// Training-run configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Which algorithm to run.
+    pub algorithm: Algorithm,
+    /// Number of worker threads `m` (forced to 1 for `SEQ`).
+    pub threads: usize,
+    /// Step size η.
+    pub eta: f32,
+    /// ε thresholds as fractions of the initial loss (e.g. `[0.5, 0.1]`).
+    pub epsilons: Vec<f64>,
+    /// Stop after this many published updates (budget).
+    pub max_updates: u64,
+    /// Stop after this much wall-clock time (budget).
+    pub max_wall: Duration,
+    /// Monitor cadence (loss evaluation + memory sampling).
+    pub eval_every: Duration,
+    /// Seed for parameter init and worker RNG streams.
+    pub seed: u64,
+    /// Unit-bin cap for the staleness histograms.
+    pub staleness_cap: usize,
+    /// Top-|g| gradient sparsification: keep this fraction of components
+    /// (`None` = dense updates, the paper's setting).
+    pub sparsify: Option<f32>,
+    /// Step-size policy (constant in the paper).
+    pub eta_policy: EtaPolicy,
+    /// ParameterVector buffer recycling (Leashed-SGD only; `false` runs
+    /// the naive allocate/free variant for the recycling ablation).
+    pub pool_recycling: bool,
+    /// Momentum coefficient `μ` (0 = the paper's plain SGD). Each worker
+    /// keeps a private velocity `v ← μ·v + g` and applies `v` instead of
+    /// `g` — the standard local-momentum formulation for asynchronous
+    /// SGD (the paper lists momentum among the hyper-parameters that
+    /// "play a significant role", §I).
+    pub momentum: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            algorithm: Algorithm::Leashed { persistence: None },
+            threads: 2,
+            eta: 0.005,
+            epsilons: vec![0.5],
+            max_updates: 100_000,
+            max_wall: Duration::from_secs(60),
+            eval_every: Duration::from_millis(50),
+            seed: 1,
+            staleness_cap: 512,
+            sparsify: None,
+            eta_policy: EtaPolicy::Constant,
+            pool_recycling: true,
+            momentum: 0.0,
+        }
+    }
+}
+
+/// Per-worker statistics merged into the [`RunResult`].
+#[derive(Debug)]
+struct WorkerStats {
+    staleness: Histogram,
+    tau_s: Histogram,
+    published: u64,
+    aborted: u64,
+    failed_cas: u64,
+    tc: OnlineStats,
+    tu: OnlineStats,
+    iter_time: OnlineStats,
+}
+
+impl WorkerStats {
+    fn new(cap: usize) -> Self {
+        WorkerStats {
+            staleness: Histogram::new(cap),
+            tau_s: Histogram::new(cap),
+            published: 0,
+            aborted: 0,
+            failed_cas: 0,
+            tc: OnlineStats::new(),
+            tu: OnlineStats::new(),
+            iter_time: OnlineStats::new(),
+        }
+    }
+
+    fn merge(&mut self, other: &WorkerStats) {
+        self.staleness.merge(&other.staleness);
+        self.tau_s.merge(&other.tau_s);
+        self.published += other.published;
+        self.aborted += other.aborted;
+        self.failed_cas += other.failed_cas;
+        self.tc.merge(&other.tc);
+        self.tu.merge(&other.tu);
+        self.iter_time.merge(&other.iter_time);
+    }
+}
+
+/// Shared algorithm state, dispatched per config.
+#[allow(clippy::large_enum_variant)] // one instance per run; size is irrelevant
+enum SharedState {
+    Locked(LockedParams),
+    Hogwild(HogwildParams),
+    Leashed(LeashedShared),
+}
+
+impl SharedState {
+    fn snapshot_into(&self, dst: &mut [f32]) {
+        match self {
+            SharedState::Locked(p) => {
+                p.read_into(dst);
+            }
+            SharedState::Hogwild(p) => {
+                p.read_into(dst);
+            }
+            SharedState::Leashed(s) => {
+                s.snapshot_into(dst);
+            }
+        }
+    }
+}
+
+/// Control block shared by workers and the monitor.
+struct Control {
+    stop: AtomicBool,
+    crashed: AtomicBool,
+    total_published: AtomicU64,
+}
+
+/// Runs one training execution and returns its full measurement record.
+///
+/// # Panics
+/// Panics if the initial evaluation loss is not finite and positive
+/// (untrainable setup), or if `threads == 0`.
+pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
+    assert!(cfg.threads > 0, "need at least one worker thread");
+    let threads = if cfg.algorithm == Algorithm::Sequential {
+        1
+    } else {
+        cfg.threads
+    };
+    let dim = problem.dim();
+    let gauge = Arc::new(MemoryGauge::new());
+
+    let theta0 = problem.init_theta(cfg.seed);
+    let mut monitor_scratch = problem.scratch();
+    let initial_loss = problem.eval_loss(&theta0, &mut monitor_scratch);
+
+    let shared = match cfg.algorithm {
+        Algorithm::Sequential | Algorithm::AsyncLock => {
+            SharedState::Locked(LockedParams::new(theta0, Arc::clone(&gauge)))
+        }
+        Algorithm::Hogwild => {
+            SharedState::Hogwild(HogwildParams::new(&theta0, Arc::clone(&gauge)))
+        }
+        Algorithm::Leashed { .. } => {
+            let pool =
+                BufferPool::new_with_recycling(dim, Arc::clone(&gauge), cfg.pool_recycling);
+            SharedState::Leashed(LeashedShared::new(&theta0, pool))
+        }
+    };
+
+    let control = Control {
+        stop: AtomicBool::new(false),
+        crashed: AtomicBool::new(false),
+        total_published: AtomicU64::new(0),
+    };
+
+    let mut tracker = ConvergenceTracker::new(initial_loss, &cfg.epsilons);
+    let mut iters_to_eps: Vec<(f64, Option<u64>)> =
+        cfg.epsilons.iter().map(|&f| (f, None)).collect();
+    let mut loss_trace = Series::new();
+    let mut mem_trace = Series::new();
+    loss_trace.push(0.0, initial_loss);
+
+    let start = Instant::now();
+    let mut merged = WorkerStats::new(cfg.staleness_cap);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker_id in 0..threads {
+            let shared = &shared;
+            let control = &control;
+            let cfg_ref = &*cfg;
+            handles.push(scope.spawn(move || {
+                run_worker(problem, shared, control, cfg_ref, worker_id)
+            }));
+        }
+
+        // ---- Monitor loop (paper §V.2: halts executions at ε, flags
+        // Crash on numerical instability, samples memory). ----
+        let mut snapshot = vec![0.0f32; dim];
+        loop {
+            // Sleep in small slices so worker-side crash/budget stops are
+            // reacted to promptly.
+            let slice = cfg.eval_every.min(Duration::from_millis(20));
+            let mut slept = Duration::ZERO;
+            while slept < cfg.eval_every && !control.stop.load(Ordering::Relaxed) {
+                std::thread::sleep(slice);
+                slept += slice;
+            }
+            let elapsed = start.elapsed();
+            let published = control.total_published.load(Ordering::Relaxed);
+
+            shared.snapshot_into(&mut snapshot);
+            let loss = if control.crashed.load(Ordering::Relaxed) {
+                f64::NAN
+            } else {
+                problem.eval_loss(&snapshot, &mut monitor_scratch)
+            };
+            loss_trace.push(elapsed.as_secs_f64(), loss);
+            mem_trace.push(elapsed.as_secs_f64(), gauge.live() as f64);
+            let done = tracker.observe(elapsed, loss);
+            for (i, (frac, it)) in iters_to_eps.iter_mut().enumerate() {
+                let _ = frac;
+                if it.is_none() && tracker.outcome(i).converged() {
+                    *it = Some(published);
+                }
+            }
+            let budget_out =
+                elapsed >= cfg.max_wall || published >= cfg.max_updates;
+            if done || budget_out || control.stop.load(Ordering::Relaxed) {
+                control.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+
+        for h in handles {
+            let stats = h.join().expect("worker panicked");
+            merged.merge(&stats);
+        }
+    });
+
+    let wall = start.elapsed();
+    let pool_peak = match &shared {
+        SharedState::Leashed(s) => s.pool().outstanding_peak(),
+        _ => 0,
+    };
+
+    RunResult {
+        algorithm: cfg.algorithm,
+        threads,
+        initial_loss,
+        final_loss: loss_trace.last_value().unwrap_or(initial_loss),
+        best_loss: tracker.best_loss(),
+        crashed: tracker.crashed(),
+        outcomes: tracker.outcomes(),
+        iters_to_eps,
+        loss_trace,
+        mem_trace,
+        staleness: merged.staleness,
+        tau_s: merged.tau_s,
+        published: merged.published,
+        aborted: merged.aborted,
+        failed_cas: merged.failed_cas,
+        tc: merged.tc,
+        tu: merged.tu,
+        iter_time: merged.iter_time,
+        wall,
+        mem_peak_bytes: gauge.peak(),
+        pool_outstanding_peak: pool_peak,
+        mem_allocs: gauge.total_allocs(),
+        mem_reuses: gauge.pool_reuses(),
+    }
+}
+
+
+/// Folds the freshly computed gradient into the worker's velocity buffer
+/// (`v ← μ·v + g`) and returns the slice to apply. With `μ = 0` the
+/// gradient passes through untouched (no velocity buffer is kept).
+fn fold_momentum<'g>(grad: &'g mut [f32], velocity: &'g mut Vec<f32>, mu: f32) -> &'g [f32] {
+    if mu == 0.0 {
+        return grad;
+    }
+    if velocity.is_empty() {
+        velocity.resize(grad.len(), 0.0);
+    }
+    for (v, &g) in velocity.iter_mut().zip(grad.iter()) {
+        *v = mu * *v + g;
+    }
+    velocity
+}
+
+/// One worker's training loop (dispatches on the algorithm).
+fn run_worker<P: Problem>(
+    problem: &P,
+    shared: &SharedState,
+    control: &Control,
+    cfg: &TrainConfig,
+    worker_id: usize,
+) -> WorkerStats {
+    let dim = problem.dim();
+    let mut stats = WorkerStats::new(cfg.staleness_cap);
+    let mut scratch = problem.scratch();
+    let mut rng = SmallRng64::new(cfg.seed ^ (0x5bd1e995u64.wrapping_mul(worker_id as u64 + 1)));
+    let mut grad = vec![0.0f32; dim];
+    let vec_bytes = dim * std::mem::size_of::<f32>();
+    // Worker-local buffers count towards the paper's memory model
+    // (ASYNC/HOG hold 2m + 1 vectors: local copy + local gradient per
+    // thread, plus the shared one; Leashed holds the gradient only, its
+    // working vectors come from the recycling pool).
+    let gauge = match shared {
+        SharedState::Leashed(s) => Arc::clone(s.pool().gauge()),
+        SharedState::Locked(p) => {
+            let gauge = Arc::clone(p.gauge());
+            gauge.add(2 * vec_bytes); // local copy + local gradient
+            let mut local = vec![0.0f32; dim];
+            let stats = run_locked_worker(
+                problem, p, control, cfg, &mut scratch, &mut rng, &mut grad, &mut local,
+                stats,
+            );
+            gauge.sub(2 * vec_bytes);
+            return stats;
+        }
+        SharedState::Hogwild(p) => {
+            let gauge = Arc::clone(p.gauge());
+            gauge.add(2 * vec_bytes);
+            let mut local = vec![0.0f32; dim];
+            let stats = run_hogwild_worker(
+                problem, p, control, cfg, &mut scratch, &mut rng, &mut grad, &mut local,
+                stats,
+            );
+            gauge.sub(2 * vec_bytes);
+            return stats;
+        }
+    };
+    // ---- Leashed-SGD worker (Algorithm 3 thread body). ----
+    let Algorithm::Leashed { persistence } = cfg.algorithm else {
+        unreachable!("leashed shared state implies leashed algorithm");
+    };
+    let SharedState::Leashed(s) = shared else {
+        unreachable!();
+    };
+    gauge.add(vec_bytes); // local gradient buffer
+    let mut sparsify_scratch = Vec::new();
+    let mut velocity = Vec::new();
+    while !control.stop.load(Ordering::Relaxed) {
+        let iter_start = Instant::now();
+        let t0;
+        let loss;
+        {
+            let guard = s.latest();
+            t0 = guard.seq();
+            let tc_start = Instant::now();
+            // Gradient computed directly from the published memory — the
+            // zero-copy read of paper P3.
+            loss = problem.grad(guard.theta(), &mut grad, &mut scratch, &mut rng);
+            stats.tc.record(tc_start.elapsed().as_secs_f64());
+        }
+        if !loss.is_finite() {
+            control.crashed.store(true, Ordering::SeqCst);
+            control.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+        if let Some(frac) = cfg.sparsify {
+            crate::sparsify::sparsify_top_frac(&mut grad, frac, &mut sparsify_scratch);
+        }
+        let eta = cfg
+            .eta_policy
+            .effective(cfg.eta, s.current_seq().saturating_sub(t0));
+        let direction = fold_momentum(&mut grad, &mut velocity, cfg.momentum);
+        let tu_stats = &mut stats.tu;
+        let outcome = s.publish_update(direction, eta, persistence, |secs| {
+            tu_stats.record(secs);
+        });
+        match outcome {
+            PublishOutcome::Published {
+                t_new,
+                t_first_base,
+                failed_cas,
+                ..
+            } => {
+                stats.published += 1;
+                stats.failed_cas += failed_cas as u64;
+                // τ: concurrent updates between the read (t0) and this
+                // update taking effect (t_new labels position t_new-1+1).
+                stats.staleness.record(t_new - 1 - t0);
+                // τs: competitors that won the LAU-SPC race after this
+                // update was first ready to publish (§IV.2); exactly 0 for
+                // every published update when Tp = 0.
+                stats.tau_s.record(t_new - 1 - t_first_base);
+                control.total_published.fetch_add(1, Ordering::Relaxed);
+            }
+            PublishOutcome::Aborted { failed_cas } => {
+                stats.aborted += 1;
+                stats.failed_cas += failed_cas as u64;
+            }
+        }
+        stats.iter_time.record(iter_start.elapsed().as_secs_f64());
+    }
+    gauge.sub(vec_bytes);
+    stats
+}
+
+/// Worker loop for SEQ / lock-based ASYNC (Algorithm 2 thread body).
+#[allow(clippy::too_many_arguments)]
+fn run_locked_worker<P: Problem>(
+    problem: &P,
+    shared: &LockedParams,
+    control: &Control,
+    cfg: &TrainConfig,
+    scratch: &mut P::Scratch,
+    rng: &mut SmallRng64,
+    grad: &mut [f32],
+    local: &mut [f32],
+    mut stats: WorkerStats,
+) -> WorkerStats {
+    let mut velocity: Vec<f32> = Vec::new();
+    let mut sparsify_scratch = Vec::new();
+    while !control.stop.load(Ordering::Relaxed) {
+        let iter_start = Instant::now();
+        let t0 = shared.read_into(local); // lock, copy, unlock
+        let tc_start = Instant::now();
+        let loss = problem.grad(local, grad, scratch, rng);
+        stats.tc.record(tc_start.elapsed().as_secs_f64());
+        if !loss.is_finite() {
+            control.crashed.store(true, Ordering::SeqCst);
+            control.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+        if let Some(frac) = cfg.sparsify {
+            crate::sparsify::sparsify_top_frac(grad, frac, &mut sparsify_scratch);
+        }
+        let eta = cfg
+            .eta_policy
+            .effective(cfg.eta, shared.current_seq().saturating_sub(t0));
+        let direction = fold_momentum(grad, &mut velocity, cfg.momentum);
+        let tu_start = Instant::now();
+        let t_pub = shared.update(direction, eta); // lock, axpy, unlock
+        stats.tu.record(tu_start.elapsed().as_secs_f64());
+        stats.staleness.record(t_pub - 1 - t0);
+        stats.published += 1;
+        control.total_published.fetch_add(1, Ordering::Relaxed);
+        stats.iter_time.record(iter_start.elapsed().as_secs_f64());
+    }
+    stats
+}
+
+/// Worker loop for HOGWILD! (Algorithm 4 thread body).
+#[allow(clippy::too_many_arguments)]
+fn run_hogwild_worker<P: Problem>(
+    problem: &P,
+    shared: &HogwildParams,
+    control: &Control,
+    cfg: &TrainConfig,
+    scratch: &mut P::Scratch,
+    rng: &mut SmallRng64,
+    grad: &mut [f32],
+    local: &mut [f32],
+    mut stats: WorkerStats,
+) -> WorkerStats {
+    let mut velocity: Vec<f32> = Vec::new();
+    let mut sparsify_scratch = Vec::new();
+    while !control.stop.load(Ordering::Relaxed) {
+        let iter_start = Instant::now();
+        let t0 = shared.read_into(local); // unsynchronised copy
+        let tc_start = Instant::now();
+        let loss = problem.grad(local, grad, scratch, rng);
+        stats.tc.record(tc_start.elapsed().as_secs_f64());
+        if !loss.is_finite() {
+            control.crashed.store(true, Ordering::SeqCst);
+            control.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+        if let Some(frac) = cfg.sparsify {
+            crate::sparsify::sparsify_top_frac(grad, frac, &mut sparsify_scratch);
+        }
+        let eta = cfg
+            .eta_policy
+            .effective(cfg.eta, shared.current_seq().saturating_sub(t0));
+        let direction = fold_momentum(grad, &mut velocity, cfg.momentum);
+        let tu_start = Instant::now();
+        let t_pub = shared.update(direction, eta); // racy component updates
+        stats.tu.record(tu_start.elapsed().as_secs_f64());
+        stats.staleness.record(t_pub - 1 - t0);
+        stats.published += 1;
+        control.total_published.fetch_add(1, Ordering::Relaxed);
+        stats.iter_time.record(iter_start.elapsed().as_secs_f64());
+    }
+    stats
+}

@@ -1,0 +1,116 @@
+//! Gaussian-mixture classification data ("blobs").
+//!
+//! A fast, low-dimensional stand-in used by unit/integration tests and the
+//! quickstart example: `k` spherical Gaussians with well-separated means.
+//! Linearly separable for small `spread`, so even a tiny MLP reaches low
+//! loss in a few hundred SGD iterations — ideal for asserting convergence
+//! behaviour quickly.
+
+use crate::dataset::Dataset;
+use lsgd_tensor::{Matrix, SmallRng64};
+
+/// Generates `n` samples from `k` Gaussian blobs in `dim` dimensions.
+///
+/// Class means are placed deterministically on a scaled hypercube pattern;
+/// `spread` is the within-class standard deviation (default sensible value
+/// is ~0.3 with unit-separated means).
+pub fn gaussian_blobs(n: usize, dim: usize, k: usize, spread: f32, seed: u64) -> Dataset {
+    assert!(k >= 2, "need at least two classes");
+    assert!(dim >= 1, "need at least one dimension");
+    let mut rng = SmallRng64::new(seed);
+
+    // Deterministic, well-separated means: class c points 2.5 along
+    // coordinate (c mod dim); when classes outnumber dimensions, an extra
+    // offset along coordinate 0 keeps every pair ≥ 2.5 apart.
+    const SEP: f32 = 2.5;
+    let means: Vec<Vec<f32>> = (0..k)
+        .map(|c| {
+            (0..dim)
+                .map(|j| {
+                    let mut v = 0.0;
+                    if j == c % dim {
+                        v += SEP;
+                    }
+                    if j == 0 {
+                        v += SEP * (c / dim) as f32;
+                    }
+                    v
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut images = Matrix::zeros(n, dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        let row = images.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = means[c][j] + rng.next_normal() * spread;
+        }
+        labels.push(c as u8);
+    }
+    Dataset::new(images, labels, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_balance() {
+        let d = gaussian_blobs(90, 5, 3, 0.2, 1);
+        assert_eq!(d.len(), 90);
+        assert_eq!(d.dim(), 5);
+        assert_eq!(d.class_counts(), vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn classes_are_separated() {
+        let d = gaussian_blobs(200, 4, 2, 0.1, 2);
+        // Empirical class means must be well separated in feature space.
+        let mut means = [[0.0f32; 4]; 2];
+        for i in 0..d.len() {
+            let c = d.labels[i] as usize;
+            for (m, &v) in means[c].iter_mut().zip(d.images.row(i)) {
+                *m += v / 100.0;
+            }
+        }
+        let dist = lsgd_tensor::ops::dist2_sq(&means[0], &means[1]).sqrt();
+        assert!(dist > 2.0, "class means only {dist} apart");
+    }
+
+    #[test]
+    fn many_classes_few_dims_still_separate() {
+        // k = 5 classes in dim = 2: the overflow offset must keep all
+        // pairwise mean distances positive.
+        let d = gaussian_blobs(500, 2, 5, 0.05, 9);
+        let mut means = [[0.0f32; 2]; 5];
+        let counts = d.class_counts();
+        for i in 0..d.len() {
+            let c = d.labels[i] as usize;
+            for (m, &v) in means[c].iter_mut().zip(d.images.row(i)) {
+                *m += v / counts[c] as f32;
+            }
+        }
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let dist = lsgd_tensor::ops::dist2_sq(&means[a], &means[b]).sqrt();
+                assert!(dist > 1.0, "classes {a},{b} means only {dist} apart");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = gaussian_blobs(30, 3, 3, 0.3, 5);
+        let b = gaussian_blobs(30, 3, 3, 0.3, 5);
+        assert_eq!(a.images.as_slice(), b.images.as_slice());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_class() {
+        gaussian_blobs(10, 2, 1, 0.1, 0);
+    }
+}

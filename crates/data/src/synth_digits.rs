@@ -1,0 +1,316 @@
+//! Procedural MNIST-format digit generator ("SynthDigits").
+//!
+//! Substitute for the MNIST download the paper uses (no network access in
+//! this environment — see DESIGN.md). Each class `0..=9` has a hand-drawn
+//! stroke skeleton (polylines in a unit box, arcs sampled to polylines).
+//! A sample is rendered by
+//!
+//! 1. applying a random affine jitter (translation, scale, rotation,
+//!    shear) to the skeleton,
+//! 2. rasterising with an anti-aliased distance-to-segment falloff at a
+//!    random stroke thickness,
+//! 3. adding Gaussian pixel noise and clamping to `[0, 1]`.
+//!
+//! The result is a 10-class, 28×28, `[0,1]`-grayscale classification task
+//! with genuine intra-class variability — the same shape, format, batch
+//! semantics and (importantly for the paper's Tc/Tu measurements) the same
+//! per-gradient FLOP profile as MNIST under the Table II/III networks.
+
+use crate::dataset::Dataset;
+use lsgd_tensor::{Matrix, SmallRng64};
+
+/// Image side length (MNIST format).
+pub const SIDE: usize = 28;
+/// Flattened image dimension.
+pub const DIM: usize = SIDE * SIDE;
+/// Number of classes.
+pub const N_CLASSES: usize = 10;
+
+/// Configurable generator for the synthetic digit dataset.
+#[derive(Debug, Clone)]
+pub struct SynthDigits {
+    /// Max translation as a fraction of the image side (default 0.08).
+    pub max_shift: f32,
+    /// Scale jitter: samples scale in `[1-s, 1+s]` (default 0.12).
+    pub scale_jitter: f32,
+    /// Max rotation in radians (default 0.12).
+    pub max_rotation: f32,
+    /// Stroke thickness range in pixels (default 1.0..=1.9).
+    pub thickness: (f32, f32),
+    /// Gaussian pixel-noise standard deviation (default 0.06).
+    pub noise_std: f32,
+}
+
+impl Default for SynthDigits {
+    fn default() -> Self {
+        SynthDigits {
+            max_shift: 0.08,
+            scale_jitter: 0.12,
+            max_rotation: 0.12,
+            thickness: (1.0, 1.9),
+            noise_std: 0.06,
+        }
+    }
+}
+
+impl SynthDigits {
+    /// Generates `n` samples with labels drawn round-robin (balanced
+    /// classes), deterministic under `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        let mut rng = SmallRng64::new(seed);
+        let mut images = Matrix::zeros(n, DIM);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = (i % N_CLASSES) as u8;
+            self.render_into(class, &mut rng, images.row_mut(i));
+            labels.push(class);
+        }
+        Dataset::new(images, labels, N_CLASSES)
+    }
+
+    /// Renders one sample of `class` into a flat 784-length buffer.
+    pub fn render_into(&self, class: u8, rng: &mut SmallRng64, out: &mut [f32]) {
+        assert_eq!(out.len(), DIM);
+        let strokes = skeleton(class);
+
+        // Random affine jitter about the glyph centre (0.5, 0.5).
+        let scale = 1.0 + rng.range_f32(-self.scale_jitter, self.scale_jitter);
+        let angle = rng.range_f32(-self.max_rotation, self.max_rotation);
+        let (sin, cos) = angle.sin_cos();
+        let shear = rng.range_f32(-0.08, 0.08);
+        let dx = rng.range_f32(-self.max_shift, self.max_shift);
+        let dy = rng.range_f32(-self.max_shift, self.max_shift);
+        let transform = |p: (f32, f32)| -> (f32, f32) {
+            let (mut x, y) = (p.0 - 0.5, p.1 - 0.5);
+            x += shear * y;
+            let (rx, ry) = (cos * x - sin * y, sin * x + cos * y);
+            (rx * scale + 0.5 + dx, ry * scale + 0.5 + dy)
+        };
+
+        // Transform all skeleton segments into pixel space.
+        let px = |p: (f32, f32)| (p.0 * (SIDE as f32 - 1.0), p.1 * (SIDE as f32 - 1.0));
+        let mut segments: Vec<((f32, f32), (f32, f32))> = Vec::new();
+        for poly in &strokes {
+            for w in poly.windows(2) {
+                segments.push((px(transform(w[0])), px(transform(w[1]))));
+            }
+        }
+
+        let thickness = rng.range_f32(self.thickness.0, self.thickness.1);
+        // Anti-aliased falloff: full intensity inside the stroke, linear
+        // ramp one pixel wide at the boundary.
+        for (i, v) in out.iter_mut().enumerate() {
+            let (r, c) = (i / SIDE, i % SIDE);
+            let p = (c as f32, r as f32);
+            let mut d = f32::MAX;
+            for &(a, b) in &segments {
+                d = d.min(dist_point_segment(p, a, b));
+                if d <= 0.0 {
+                    break;
+                }
+            }
+            let ink = (1.0 - (d - thickness * 0.5)).clamp(0.0, 1.0);
+            let noise = rng.next_normal() * self.noise_std;
+            *v = (ink + noise).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Distance from point `p` to segment `ab`.
+fn dist_point_segment(p: (f32, f32), a: (f32, f32), b: (f32, f32)) -> f32 {
+    let (apx, apy) = (p.0 - a.0, p.1 - a.1);
+    let (abx, aby) = (b.0 - a.0, b.1 - a.1);
+    let len_sq = abx * abx + aby * aby;
+    let t = if len_sq > 0.0 {
+        ((apx * abx + apy * aby) / len_sq).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let (dx, dy) = (p.0 - (a.0 + t * abx), p.1 - (a.1 + t * aby));
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Samples an arc of a circle as a polyline (angles in radians, y grows
+/// downward as in image coordinates).
+fn arc(cx: f32, cy: f32, rx: f32, ry: f32, a0: f32, a1: f32, n: usize) -> Vec<(f32, f32)> {
+    (0..=n)
+        .map(|i| {
+            let t = a0 + (a1 - a0) * i as f32 / n as f32;
+            (cx + rx * t.cos(), cy + ry * t.sin())
+        })
+        .collect()
+}
+
+/// The per-class stroke skeletons, in a unit box with y growing downward.
+/// Deliberately stylised — the classifier must separate 10 distinct shape
+/// families, not read human handwriting.
+fn skeleton(class: u8) -> Vec<Vec<(f32, f32)>> {
+    use std::f32::consts::PI;
+    match class {
+        // 0: ellipse outline.
+        0 => vec![arc(0.5, 0.5, 0.22, 0.32, 0.0, 2.0 * PI, 24)],
+        // 1: vertical stroke with a small flag and base.
+        1 => vec![
+            vec![(0.55, 0.18), (0.55, 0.82)],
+            vec![(0.42, 0.30), (0.55, 0.18)],
+            vec![(0.42, 0.82), (0.68, 0.82)],
+        ],
+        // 2: top arc, diagonal, bottom bar.
+        2 => vec![
+            arc(0.5, 0.34, 0.20, 0.16, -PI, 0.0, 10),
+            vec![(0.70, 0.34), (0.32, 0.80)],
+            vec![(0.32, 0.80), (0.72, 0.80)],
+        ],
+        // 3: two right-facing arcs.
+        3 => vec![
+            arc(0.45, 0.34, 0.20, 0.15, -PI * 0.9, PI * 0.45, 12),
+            arc(0.45, 0.65, 0.22, 0.17, -PI * 0.45, PI * 0.9, 12),
+        ],
+        // 4: diagonal, vertical, crossbar.
+        4 => vec![
+            vec![(0.60, 0.18), (0.32, 0.58)],
+            vec![(0.32, 0.58), (0.74, 0.58)],
+            vec![(0.60, 0.18), (0.60, 0.84)],
+        ],
+        // 5: top bar, left vertical, bottom bowl.
+        5 => vec![
+            vec![(0.68, 0.20), (0.36, 0.20)],
+            vec![(0.36, 0.20), (0.36, 0.48)],
+            arc(0.50, 0.62, 0.20, 0.18, -PI * 0.55, PI * 0.75, 12),
+        ],
+        // 6: tall left curve closing into a bottom loop.
+        6 => vec![
+            vec![(0.62, 0.20), (0.42, 0.45)],
+            arc(0.50, 0.64, 0.18, 0.17, 0.0, 2.0 * PI, 18),
+        ],
+        // 7: top bar and long diagonal.
+        7 => vec![
+            vec![(0.30, 0.22), (0.72, 0.22)],
+            vec![(0.72, 0.22), (0.44, 0.82)],
+        ],
+        // 8: stacked loops.
+        8 => vec![
+            arc(0.5, 0.35, 0.17, 0.14, 0.0, 2.0 * PI, 16),
+            arc(0.5, 0.66, 0.20, 0.16, 0.0, 2.0 * PI, 16),
+        ],
+        // 9: top loop with a tail.
+        9 => vec![
+            arc(0.5, 0.36, 0.18, 0.15, 0.0, 2.0 * PI, 16),
+            vec![(0.68, 0.40), (0.60, 0.82)],
+        ],
+        other => panic!("unknown digit class {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let d = SynthDigits::default().generate(50, 1);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.dim(), DIM);
+        assert_eq!(d.n_classes, N_CLASSES);
+    }
+
+    #[test]
+    fn pixels_are_normalised() {
+        let d = SynthDigits::default().generate(40, 2);
+        for v in d.images.as_slice() {
+            assert!((0.0..=1.0).contains(v), "pixel {v} out of range");
+        }
+    }
+
+    #[test]
+    fn classes_are_balanced_round_robin() {
+        let d = SynthDigits::default().generate(100, 3);
+        assert_eq!(d.class_counts(), vec![10; 10]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = SynthDigits::default();
+        let a = g.generate(20, 7);
+        let b = g.generate(20, 7);
+        assert_eq!(a.images.as_slice(), b.images.as_slice());
+        let c = g.generate(20, 8);
+        assert_ne!(a.images.as_slice(), c.images.as_slice());
+    }
+
+    #[test]
+    fn images_contain_ink_and_background() {
+        let d = SynthDigits::default().generate(10, 4);
+        for r in 0..10 {
+            let row = d.images.row(r);
+            let ink = row.iter().filter(|&&v| v > 0.5).count();
+            let bg = row.iter().filter(|&&v| v < 0.3).count();
+            assert!(ink > 10, "class {r}: only {ink} ink pixels");
+            assert!(bg > 300, "class {r}: only {bg} background pixels");
+        }
+    }
+
+    #[test]
+    fn same_class_samples_differ() {
+        // Jitter must produce intra-class variability.
+        let d = SynthDigits::default().generate(20, 5);
+        // Rows 0 and 10 are both class 0.
+        assert_eq!(d.labels[0], d.labels[10]);
+        let diff: f32 = d
+            .images
+            .row(0)
+            .iter()
+            .zip(d.images.row(10))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 5.0, "intra-class variation too small: {diff}");
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean inter-class pixel distance must exceed mean intra-class
+        // distance — otherwise the task is unlearnable.
+        let g = SynthDigits::default();
+        let d = g.generate(200, 6);
+        let mut intra = 0.0f64;
+        let mut inter = 0.0f64;
+        let mut n_intra = 0;
+        let mut n_inter = 0;
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                let dist: f32 = d
+                    .images
+                    .row(i)
+                    .iter()
+                    .zip(d.images.row(j))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if d.labels[i] == d.labels[j] {
+                    intra += dist as f64;
+                    n_intra += 1;
+                } else {
+                    inter += dist as f64;
+                    n_inter += 1;
+                }
+            }
+        }
+        let intra = intra / n_intra.max(1) as f64;
+        let inter = inter / n_inter.max(1) as f64;
+        assert!(
+            inter > intra * 1.2,
+            "inter {inter:.2} should exceed intra {intra:.2}"
+        );
+    }
+
+    #[test]
+    fn dist_point_segment_basics() {
+        // Point on the segment.
+        assert!(dist_point_segment((0.5, 0.0), (0.0, 0.0), (1.0, 0.0)) < 1e-6);
+        // Perpendicular distance.
+        assert!((dist_point_segment((0.5, 2.0), (0.0, 0.0), (1.0, 0.0)) - 2.0).abs() < 1e-6);
+        // Beyond the endpoint: distance to endpoint.
+        assert!((dist_point_segment((2.0, 0.0), (0.0, 0.0), (1.0, 0.0)) - 1.0).abs() < 1e-6);
+        // Degenerate segment.
+        assert!((dist_point_segment((3.0, 4.0), (0.0, 0.0), (0.0, 0.0)) - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,156 @@
+//! Box-plot statistics (five-number summary + outliers).
+//!
+//! The paper's convergence-rate figures are box plots over 11 independent
+//! executions per configuration, showing 1st/3rd quartiles, min/max
+//! whiskers, and `+` outliers beyond 1.5·IQR. This module computes those
+//! statistics from a sample of run measurements.
+
+/// Five-number summary with 1.5·IQR outlier detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// Smallest non-outlier observation (lower whisker).
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest non-outlier observation (upper whisker).
+    pub whisker_hi: f64,
+    /// Observations beyond `q1 - 1.5 IQR` or `q3 + 1.5 IQR`.
+    pub outliers: Vec<f64>,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Computes box statistics; returns `None` for an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Option<BoxStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let outliers: Vec<f64> = sorted
+            .iter()
+            .cloned()
+            .filter(|&v| v < lo_fence || v > hi_fence)
+            .collect();
+        let whisker_lo = sorted
+            .iter()
+            .cloned()
+            .find(|&v| v >= lo_fence)
+            .unwrap_or(sorted[0]);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .cloned()
+            .find(|&v| v <= hi_fence)
+            .unwrap_or(*sorted.last().unwrap());
+        Some(BoxStats {
+            whisker_lo,
+            q1,
+            median,
+            q3,
+            whisker_hi,
+            outliers,
+            n: samples.len(),
+        })
+    }
+
+    /// One-line rendering: `med 12.3 [q1 10.0, q3 14.0] whiskers (8.0, 16.5) n=11 (+2 outliers)`.
+    pub fn render(&self) -> String {
+        let outl = if self.outliers.is_empty() {
+            String::new()
+        } else {
+            format!(" (+{} outliers)", self.outliers.len())
+        };
+        format!(
+            "med {:.3} [q1 {:.3}, q3 {:.3}] whiskers ({:.3}, {:.3}) n={}{}",
+            self.median, self.q1, self.q3, self.whisker_lo, self.whisker_hi, self.n, outl
+        )
+    }
+}
+
+/// Linear-interpolated quantile of a pre-sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_quartiles_of_known_sample() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert!(s.outliers.is_empty());
+        assert_eq!(s.whisker_lo, 1.0);
+        assert_eq!(s.whisker_hi, 5.0);
+    }
+
+    #[test]
+    fn detects_outliers() {
+        let mut xs = vec![10.0; 10];
+        xs.push(1000.0);
+        let s = BoxStats::from_samples(&xs).unwrap();
+        assert_eq!(s.outliers, vec![1000.0]);
+        assert_eq!(s.whisker_hi, 10.0);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(BoxStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_degenerates_gracefully() {
+        let s = BoxStats::from_samples(&[42.0]).unwrap();
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.q1, 42.0);
+        assert_eq!(s.whisker_hi, 42.0);
+        assert!(s.outliers.is_empty());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s1 = BoxStats::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        let s2 = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 0.25), 2.5);
+    }
+
+    #[test]
+    fn render_contains_key_numbers() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        let r = s.render();
+        assert!(r.contains("med 2.000"));
+        assert!(r.contains("n=3"));
+    }
+}

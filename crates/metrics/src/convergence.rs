@@ -1,0 +1,207 @@
+//! ε-convergence tracking and outcome classification.
+//!
+//! The paper measures wall-clock time until the training loss falls below
+//! `ε · f(θ₀)` for a set of precision levels (e.g. ε ∈ {75%, 50%, 25%,
+//! 10%}), and classifies runs that never get there:
+//!
+//! * **Crash** — the loss became NaN/Inf (numerical instability from
+//!   staleness or too-large steps; paper Figs. 3–4 mark these executions).
+//! * **Diverge** — the run exhausted its budget without reaching the
+//!   target precision.
+
+use std::time::Duration;
+
+/// Final classification of a run with respect to one ε threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Reached the threshold after the contained wall-clock time.
+    Converged(Duration),
+    /// Budget exhausted before reaching the threshold.
+    Diverged,
+    /// Loss became non-finite.
+    Crashed,
+}
+
+impl Outcome {
+    /// Time-to-convergence in seconds, if converged.
+    pub fn secs(&self) -> Option<f64> {
+        match self {
+            Outcome::Converged(d) => Some(d.as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// True if this run reached the threshold.
+    pub fn converged(&self) -> bool {
+        matches!(self, Outcome::Converged(_))
+    }
+}
+
+/// Tracks loss observations against a set of ε thresholds (fractions of
+/// the initial loss).
+#[derive(Debug, Clone)]
+pub struct ConvergenceTracker {
+    initial_loss: f64,
+    /// (fraction, absolute threshold, first-hit time).
+    thresholds: Vec<(f64, f64, Option<Duration>)>,
+    crashed: bool,
+    best_loss: f64,
+}
+
+impl ConvergenceTracker {
+    /// Creates a tracker for the given ε fractions (e.g. `[0.5, 0.1]`
+    /// means 50% and 10% of the initial loss).
+    ///
+    /// # Panics
+    /// Panics if `initial_loss` is not finite and positive.
+    pub fn new(initial_loss: f64, epsilon_fractions: &[f64]) -> Self {
+        assert!(
+            initial_loss.is_finite() && initial_loss > 0.0,
+            "initial loss must be positive and finite, got {initial_loss}"
+        );
+        let thresholds = epsilon_fractions
+            .iter()
+            .map(|&f| (f, f * initial_loss, None))
+            .collect();
+        ConvergenceTracker {
+            initial_loss,
+            thresholds,
+            crashed: false,
+            best_loss: initial_loss,
+        }
+    }
+
+    /// The loss at initialisation, `f(θ₀)`.
+    pub fn initial_loss(&self) -> f64 {
+        self.initial_loss
+    }
+
+    /// Lowest loss observed so far.
+    pub fn best_loss(&self) -> f64 {
+        self.best_loss
+    }
+
+    /// True once a non-finite loss has been observed.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Records a loss observation at `elapsed` since the run started.
+    /// Returns `true` if all thresholds have now been reached (callers may
+    /// stop the run).
+    pub fn observe(&mut self, elapsed: Duration, loss: f64) -> bool {
+        if !loss.is_finite() {
+            self.crashed = true;
+            return true;
+        }
+        self.best_loss = self.best_loss.min(loss);
+        let mut all_hit = true;
+        for (_, abs, hit) in self.thresholds.iter_mut() {
+            if hit.is_none() {
+                if loss <= *abs {
+                    *hit = Some(elapsed);
+                } else {
+                    all_hit = false;
+                }
+            }
+        }
+        all_hit
+    }
+
+    /// The outcome for the `i`-th ε fraction (order of construction).
+    pub fn outcome(&self, i: usize) -> Outcome {
+        match self.thresholds[i].2 {
+            Some(t) => Outcome::Converged(t),
+            None if self.crashed => Outcome::Crashed,
+            None => Outcome::Diverged,
+        }
+    }
+
+    /// `(fraction, outcome)` for every tracked threshold.
+    pub fn outcomes(&self) -> Vec<(f64, Outcome)> {
+        (0..self.thresholds.len())
+            .map(|i| (self.thresholds[i].0, self.outcome(i)))
+            .collect()
+    }
+
+    /// True if every threshold has been reached.
+    pub fn fully_converged(&self) -> bool {
+        self.thresholds.iter().all(|(_, _, hit)| hit.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> Duration {
+        Duration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn thresholds_hit_in_order() {
+        let mut t = ConvergenceTracker::new(2.3, &[0.5, 0.1]);
+        assert!(!t.observe(secs(1.0), 2.0));
+        assert!(!t.observe(secs(2.0), 1.0)); // hits 50%
+        assert!(t.observe(secs(5.0), 0.2)); // hits 10% → all done
+        assert_eq!(t.outcome(0), Outcome::Converged(secs(2.0)));
+        assert_eq!(t.outcome(1), Outcome::Converged(secs(5.0)));
+        assert!(t.fully_converged());
+    }
+
+    #[test]
+    fn first_hit_time_is_kept() {
+        let mut t = ConvergenceTracker::new(1.0, &[0.5]);
+        t.observe(secs(1.0), 0.4);
+        t.observe(secs(2.0), 0.3);
+        assert_eq!(t.outcome(0), Outcome::Converged(secs(1.0)));
+    }
+
+    #[test]
+    fn nan_is_crash() {
+        let mut t = ConvergenceTracker::new(1.0, &[0.5, 0.1]);
+        t.observe(secs(1.0), 0.4);
+        assert!(t.observe(secs(2.0), f64::NAN), "crash should stop the run");
+        assert!(t.crashed());
+        assert_eq!(t.outcome(0), Outcome::Converged(secs(1.0)));
+        assert_eq!(t.outcome(1), Outcome::Crashed);
+    }
+
+    #[test]
+    fn unreached_threshold_is_diverged() {
+        let mut t = ConvergenceTracker::new(1.0, &[0.5, 0.01]);
+        t.observe(secs(1.0), 0.4);
+        assert_eq!(t.outcome(1), Outcome::Diverged);
+        assert!(!t.fully_converged());
+    }
+
+    #[test]
+    fn best_loss_tracks_minimum() {
+        let mut t = ConvergenceTracker::new(1.0, &[0.1]);
+        t.observe(secs(1.0), 0.7);
+        t.observe(secs(2.0), 0.3);
+        t.observe(secs(3.0), 0.5);
+        assert_eq!(t.best_loss(), 0.3);
+    }
+
+    #[test]
+    fn infinity_is_crash() {
+        let mut t = ConvergenceTracker::new(1.0, &[0.5]);
+        t.observe(secs(0.5), f64::INFINITY);
+        assert!(t.crashed());
+        assert_eq!(t.outcome(0), Outcome::Crashed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_finite_initial_loss() {
+        ConvergenceTracker::new(f64::NAN, &[0.5]);
+    }
+
+    #[test]
+    fn outcome_secs_helper() {
+        assert_eq!(Outcome::Converged(secs(2.5)).secs(), Some(2.5));
+        assert_eq!(Outcome::Diverged.secs(), None);
+        assert!(!Outcome::Crashed.converged());
+    }
+}

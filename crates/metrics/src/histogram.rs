@@ -1,0 +1,202 @@
+//! Integer-bin histograms (staleness distributions, retry counts).
+
+/// A histogram over non-negative integer values with unit-width bins up to
+/// a cap; values beyond the cap land in an overflow bin.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with unit bins `0..cap` plus an overflow bin.
+    pub fn new(cap: usize) -> Self {
+        Histogram {
+            bins: vec![0; cap],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        if (v as usize) < self.bins.len() {
+            self.bins[v as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += v as u128;
+        self.max_seen = self.max_seen.max(v);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest value observed.
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Count in unit bin `v` (not including overflow).
+    pub fn bin(&self, v: usize) -> u64 {
+        self.bins.get(v).copied().unwrap_or(0)
+    }
+
+    /// Observations beyond the bin cap.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate `q`-quantile (0..=1) from the binned counts; overflow
+    /// observations are treated as `cap`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (v, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                return v as u64;
+            }
+        }
+        self.bins.len() as u64
+    }
+
+    /// Merges another histogram into this one (bin caps must match).
+    ///
+    /// # Panics
+    /// Panics if the bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "bin cap mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
+    /// Non-empty `(value, count)` pairs, for printing distributions.
+    pub fn nonzero_bins(&self) -> Vec<(u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+            .collect()
+    }
+
+    /// Renders a compact ASCII bar chart of the distribution.
+    pub fn ascii_chart(&self, width: usize) -> String {
+        let peak = self.bins.iter().cloned().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (v, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((c as f64 / peak as f64) * width as f64).ceil() as usize);
+            out.push_str(&format!("{v:>5} | {bar} {c}\n"));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("  >={} | {}\n", self.bins.len(), self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut h = Histogram::new(10);
+        for v in [1u64, 1, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bin(3), 3);
+        assert_eq!(h.bin(0), 0);
+        assert!((h.mean() - 13.0 / 6.0).abs() < 1e-9);
+        assert_eq!(h.max(), 3);
+    }
+
+    #[test]
+    fn overflow_bin_catches_large_values() {
+        let mut h = Histogram::new(4);
+        h.record(100);
+        h.record(2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics() {
+        let mut h = Histogram::new(100);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(1.0), 99);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.record(1);
+        b.record(1);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bin(1), 2);
+        assert_eq!(a.bin(7), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_caps() {
+        let mut a = Histogram::new(8);
+        a.merge(&Histogram::new(4));
+    }
+
+    #[test]
+    fn empty_histogram_defaults() {
+        let h = Histogram::new(4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn ascii_chart_lists_nonzero_bins() {
+        let mut h = Histogram::new(4);
+        h.record(2);
+        h.record(2);
+        let chart = h.ascii_chart(10);
+        assert!(chart.contains("2 |"));
+        assert!(!chart.contains("0 |"));
+    }
+}

@@ -1,0 +1,135 @@
+//! The exact architectures evaluated in the paper.
+//!
+//! * Table II — MLP: three Dense(128) + ReLU hidden layers and a
+//!   Dense(10) softmax output over 28×28 inputs: `d = 134,794`.
+//! * Table III — CNN: Conv(4, 3×3) → Pool(2×2) → Conv(8, 3×3) → Pool(2×2)
+//!   → Dense(128) → Dense(10): `d = 27,354`.
+//!
+//! Both counts are asserted in tests; they are the strongest available
+//! fingerprint that this reproduction builds the paper's networks.
+//!
+//! The softmax of the final layer is fused into the loss
+//! ([`crate::loss::cross_entropy_loss_grad`]), so it does not appear as a
+//! layer here. Table III also lists ReLU on the MaxPool rows; since
+//! `max` and `ReLU` commute and the preceding conv already applies ReLU,
+//! the composition collapses to conv → ReLU → pool, which we build.
+
+use crate::activation::Relu;
+use crate::conv::Conv2d;
+use crate::dense::Dense;
+use crate::layer::Layer;
+use crate::network::Network;
+use crate::pool::MaxPool2d;
+
+/// Image side length of the (synthetic) MNIST-format inputs.
+pub const IMAGE_SIDE: usize = 28;
+/// Flattened input dimension.
+pub const INPUT_DIM: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of digit classes.
+pub const N_CLASSES: usize = 10;
+/// Parameter count of the Table II MLP.
+pub const MLP_D: usize = 134_794;
+/// Parameter count of the Table III CNN.
+pub const CNN_D: usize = 27_354;
+
+/// Table II MLP: 784 → 128 → 128 → 128 → 10, ReLU hidden activations.
+pub fn mlp_mnist() -> Network {
+    Network::new(vec![
+        Box::new(Dense::new(INPUT_DIM, 128)),
+        Box::new(Relu::new(128)),
+        Box::new(Dense::new(128, 128)),
+        Box::new(Relu::new(128)),
+        Box::new(Dense::new(128, 128)),
+        Box::new(Relu::new(128)),
+        Box::new(Dense::new(128, N_CLASSES)),
+    ])
+}
+
+/// Table III CNN: Conv(4,3×3) → ReLU → Pool(2) → Conv(8,3×3) → ReLU →
+/// Pool(2) → Dense(128) → ReLU → Dense(10).
+pub fn cnn_mnist() -> Network {
+    let c1 = Conv2d::new(1, IMAGE_SIDE, IMAGE_SIDE, 4, 3); // 28 → 26
+    let p1 = MaxPool2d::new(4, c1.out_h(), c1.out_w(), 2); // 26 → 13
+    let c2 = Conv2d::new(4, p1.out_h(), p1.out_w(), 8, 3); // 13 → 11
+    let p2 = MaxPool2d::new(8, c2.out_h(), c2.out_w(), 2); // 11 → 5
+    let flat = p2.out_dim(); // 8*5*5 = 200
+    let c1_out = c1.out_dim();
+    let c2_out = c2.out_dim();
+    Network::new(vec![
+        Box::new(c1),
+        Box::new(Relu::new(c1_out)),
+        Box::new(p1),
+        Box::new(c2),
+        Box::new(Relu::new(c2_out)),
+        Box::new(p2),
+        Box::new(Dense::new(flat, 128)),
+        Box::new(Relu::new(128)),
+        Box::new(Dense::new(128, N_CLASSES)),
+    ])
+}
+
+/// A deliberately small MLP (for fast tests and examples): `in → h → k`.
+pub fn tiny_mlp(in_dim: usize, hidden: usize, classes: usize) -> Network {
+    Network::new(vec![
+        Box::new(Dense::new(in_dim, hidden)),
+        Box::new(Relu::new(hidden)),
+        Box::new(Dense::new(hidden, classes)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_matches_table_ii_parameter_count() {
+        let net = mlp_mnist();
+        assert_eq!(net.param_len(), MLP_D, "{}", net.describe());
+        assert_eq!(net.in_dim(), 784);
+        assert_eq!(net.n_classes(), 10);
+    }
+
+    #[test]
+    fn cnn_matches_table_iii_parameter_count() {
+        let net = cnn_mnist();
+        assert_eq!(net.param_len(), CNN_D, "{}", net.describe());
+        assert_eq!(net.in_dim(), 784);
+        assert_eq!(net.n_classes(), 10);
+    }
+
+    #[test]
+    fn mlp_layer_breakdown() {
+        // 784*128+128 + 128*128+128 (x2) + 128*10+10 = 134,794
+        assert_eq!(
+            100_480 + 16_512 + 16_512 + 1_290,
+            MLP_D,
+            "Table II arithmetic"
+        );
+    }
+
+    #[test]
+    fn cnn_layer_breakdown() {
+        // conv1 40 + conv2 296 + dense 25,728 + out 1,290 = 27,354
+        assert_eq!(40 + 296 + 25_728 + 1_290, CNN_D, "Table III arithmetic");
+    }
+
+    #[test]
+    fn cnn_forward_runs_on_batch() {
+        let net = cnn_mnist();
+        let theta = net.init_params(0);
+        let mut ws = net.workspace(4);
+        let x = lsgd_tensor::Matrix::zeros(4, 784);
+        let y = [0u8, 1, 2, 3];
+        let loss = net.loss(&theta, &x, &y, &mut ws);
+        // Zero input + small random weights → near-uniform predictions.
+        assert!((loss - 10f32.ln()).abs() < 0.1, "loss {loss}");
+    }
+
+    #[test]
+    fn tiny_mlp_dimensions() {
+        let net = tiny_mlp(6, 5, 3);
+        assert_eq!(net.param_len(), 6 * 5 + 5 + 5 * 3 + 3);
+        assert_eq!(net.in_dim(), 6);
+        assert_eq!(net.n_classes(), 3);
+    }
+}

@@ -1,0 +1,346 @@
+//! 2-D convolution layer (valid padding, stride 1) via im2col + GEMM.
+//!
+//! Matches the paper's CNN building block (Appendix, Table III): filters of
+//! shape `k × k` over `in_c` input channels, no padding — which is exactly
+//! what reproduces the published parameter count `d = 27,354`.
+//!
+//! Data layout: each sample's feature map is flattened NCHW into one matrix
+//! row, i.e. `row = [c0 row-major HxW | c1 ... ]`. The im2col lowering
+//! turns each sample into a `(out_h*out_w, in_c*k*k)` patch matrix so the
+//! convolution becomes one GEMM per sample — the same "many small GEMMs"
+//! cost profile the paper measures for its CNN (high `Tc`, low `Tu`).
+
+use crate::layer::{Layer, LayerCache};
+use lsgd_tensor::gemm::{gemm_slices, Transpose};
+use lsgd_tensor::Matrix;
+
+/// Convolutional layer: `filters` output channels, `k × k` kernels, valid
+/// padding, stride 1, bias per filter.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    filters: usize,
+    k: usize,
+}
+
+impl Conv2d {
+    /// Creates a conv layer over `in_c × in_h × in_w` inputs.
+    ///
+    /// # Panics
+    /// Panics if the kernel does not fit the input.
+    pub fn new(in_c: usize, in_h: usize, in_w: usize, filters: usize, k: usize) -> Self {
+        assert!(k > 0 && filters > 0);
+        assert!(
+            in_h >= k && in_w >= k,
+            "kernel {k}x{k} larger than input {in_h}x{in_w}"
+        );
+        Conv2d {
+            in_c,
+            in_h,
+            in_w,
+            filters,
+            k,
+        }
+    }
+
+    /// Output height (valid padding, stride 1).
+    #[inline]
+    pub fn out_h(&self) -> usize {
+        self.in_h - self.k + 1
+    }
+
+    /// Output width (valid padding, stride 1).
+    #[inline]
+    pub fn out_w(&self) -> usize {
+        self.in_w - self.k + 1
+    }
+
+    /// Output channel count.
+    #[inline]
+    pub fn out_c(&self) -> usize {
+        self.filters
+    }
+
+    #[inline]
+    fn patch_len(&self) -> usize {
+        self.in_c * self.k * self.k
+    }
+
+    /// Lowers one sample (flattened NCHW row) into the im2col patch matrix
+    /// `(out_h*out_w, in_c*k*k)`.
+    fn im2col(&self, sample: &[f32], cols: &mut Matrix) {
+        let (oh, ow, k) = (self.out_h(), self.out_w(), self.k);
+        debug_assert_eq!(cols.rows(), oh * ow);
+        debug_assert_eq!(cols.cols(), self.patch_len());
+        let hw = self.in_h * self.in_w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let dst = cols.row_mut(oy * ow + ox);
+                let mut idx = 0;
+                for c in 0..self.in_c {
+                    let chan = &sample[c * hw..(c + 1) * hw];
+                    for ky in 0..k {
+                        let src_off = (oy + ky) * self.in_w + ox;
+                        dst[idx..idx + k].copy_from_slice(&chan[src_off..src_off + k]);
+                        idx += k;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatter-adds a column-gradient matrix `(out_h*out_w, in_c*k*k)` back
+    /// into one sample's input gradient (col2im).
+    fn col2im_add(&self, dcols: &Matrix, dsample: &mut [f32]) {
+        let (oh, ow, k) = (self.out_h(), self.out_w(), self.k);
+        let hw = self.in_h * self.in_w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let src = dcols.row(oy * ow + ox);
+                let mut idx = 0;
+                for c in 0..self.in_c {
+                    let chan = &mut dsample[c * hw..(c + 1) * hw];
+                    for ky in 0..k {
+                        let dst_off = (oy + ky) * self.in_w + ox;
+                        for kx in 0..k {
+                            chan[dst_off + kx] += src[idx + kx];
+                        }
+                        idx += k;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Splits this layer's parameter slice into `(filter weights, bias)`.
+    #[inline]
+    fn split<'a>(&self, params: &'a [f32]) -> (&'a [f32], &'a [f32]) {
+        params.split_at(self.filters * self.patch_len())
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn in_dim(&self) -> usize {
+        self.in_c * self.in_h * self.in_w
+    }
+
+    fn out_dim(&self) -> usize {
+        self.filters * self.out_h() * self.out_w()
+    }
+
+    fn param_len(&self) -> usize {
+        self.filters * self.patch_len() + self.filters
+    }
+
+    fn forward(&self, params: &[f32], input: &Matrix, output: &mut Matrix, cache: &mut LayerCache) {
+        let batch = input.rows();
+        let (w, b) = self.split(params);
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let ohw = oh * ow;
+        if cache.im2col.rows() != ohw || cache.im2col.cols() != self.patch_len() {
+            cache.im2col.resize_zeroed(ohw, self.patch_len());
+        }
+        for s in 0..batch {
+            self.im2col(input.row(s), &mut cache.im2col);
+            // out_sample (filters, ohw) = W (filters, patch) x colsᵀ (patch, ohw)
+            let out_row = output.row_mut(s);
+            gemm_slices(
+                1.0,
+                w,
+                (self.filters, self.patch_len()),
+                Transpose::No,
+                cache.im2col.as_slice(),
+                (ohw, self.patch_len()),
+                Transpose::Yes,
+                0.0,
+                out_row,
+                (self.filters, ohw),
+            );
+            for f in 0..self.filters {
+                let bias = b[f];
+                for v in &mut out_row[f * ohw..(f + 1) * ohw] {
+                    *v += bias;
+                }
+            }
+        }
+    }
+
+    fn backward(
+        &self,
+        params: &[f32],
+        input: &Matrix,
+        _output: &Matrix,
+        grad_out: &Matrix,
+        _cache: &LayerCache,
+        grad_params: &mut [f32],
+        grad_in: &mut Matrix,
+    ) {
+        let batch = input.rows();
+        let (w, _) = self.split(params);
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let ohw = oh * ow;
+        let patch = self.patch_len();
+
+        grad_params.iter_mut().for_each(|v| *v = 0.0);
+        grad_in.fill_zero();
+        let (dw, db) = grad_params.split_at_mut(self.filters * patch);
+
+        // The forward cache's im2col content corresponds to the *last*
+        // sample only, so re-lower each sample here. Scratch matrices are
+        // local to avoid aliasing the shared cache.
+        let mut cols = Matrix::zeros(ohw, patch);
+        let mut dcols = Matrix::zeros(ohw, patch);
+        for s in 0..batch {
+            self.im2col(input.row(s), &mut cols);
+            let dy = grad_out.row(s); // (filters, ohw) flattened
+
+            // dW += dY (filters, ohw) · cols (ohw, patch)
+            gemm_slices(
+                1.0,
+                dy,
+                (self.filters, ohw),
+                Transpose::No,
+                cols.as_slice(),
+                (ohw, patch),
+                Transpose::No,
+                1.0,
+                dw,
+                (self.filters, patch),
+            );
+            // db[f] += sum of dY over spatial positions.
+            for f in 0..self.filters {
+                db[f] += dy[f * ohw..(f + 1) * ohw].iter().sum::<f32>();
+            }
+            // dcols = dYᵀ (ohw, filters) · W (filters, patch)
+            gemm_slices(
+                1.0,
+                dy,
+                (self.filters, ohw),
+                Transpose::Yes,
+                w,
+                (self.filters, patch),
+                Transpose::No,
+                0.0,
+                dcols.as_mut_slice(),
+                (ohw, patch),
+            );
+            self.col2im_add(&dcols, grad_in.row_mut(s));
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Conv2d {}x{}x{} -> {}x{}x{} (k={})",
+            self.in_c,
+            self.in_h,
+            self.in_w,
+            self.filters,
+            self.out_h(),
+            self.out_w(),
+            self.k
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (non-im2col) reference convolution for one sample.
+    fn conv_ref(l: &Conv2d, params: &[f32], sample: &[f32]) -> Vec<f32> {
+        let (w, b) = l.split(params);
+        let (oh, ow, k) = (l.out_h(), l.out_w(), l.k);
+        let hw = l.in_h * l.in_w;
+        let mut out = vec![0.0f32; l.filters * oh * ow];
+        for f in 0..l.filters {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b[f];
+                    for c in 0..l.in_c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iv = sample[c * hw + (oy + ky) * l.in_w + (ox + kx)];
+                                let wv = w[f * l.patch_len() + c * k * k + ky * k + kx];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out[f * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn table_iii_parameter_counts() {
+        // Conv1: 4 filters, 3x3, 1 channel → 4*9 + 4 = 40 params.
+        let c1 = Conv2d::new(1, 28, 28, 4, 3);
+        assert_eq!(c1.param_len(), 40);
+        assert_eq!(c1.out_dim(), 4 * 26 * 26);
+        // Conv2: 8 filters, 3x3 over 4 channels of 13x13 → 8*36 + 8 = 296.
+        let c2 = Conv2d::new(4, 13, 13, 8, 3);
+        assert_eq!(c2.param_len(), 296);
+        assert_eq!(c2.out_dim(), 8 * 11 * 11);
+    }
+
+    #[test]
+    fn forward_matches_direct_convolution() {
+        let l = Conv2d::new(2, 6, 5, 3, 3);
+        let mut rng = lsgd_tensor::SmallRng64::new(42);
+        let params: Vec<f32> = (0..l.param_len()).map(|_| rng.next_f32() - 0.5).collect();
+        let x = Matrix::from_fn(2, l.in_dim(), |_, _| rng.next_f32() - 0.5);
+        let mut y = Matrix::zeros(2, l.out_dim());
+        l.forward(&params, &x, &mut y, &mut LayerCache::default());
+        for s in 0..2 {
+            let want = conv_ref(&l, &params, x.row(s));
+            for (a, b) in y.row(s).iter().zip(&want) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_kernel_recovers_input_patch() {
+        // Single 1x1 filter with weight 1, bias 0 → output == input.
+        let l = Conv2d::new(1, 4, 4, 1, 1);
+        let params = vec![1.0, 0.0];
+        let x = Matrix::from_fn(1, 16, |_, c| c as f32);
+        let mut y = Matrix::zeros(1, 16);
+        l.forward(&params, &x, &mut y, &mut LayerCache::default());
+        assert_eq!(x.as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn bias_only_network_outputs_bias() {
+        let l = Conv2d::new(1, 5, 5, 2, 3);
+        let mut params = vec![0.0f32; l.param_len()];
+        params[l.filters * l.patch_len()] = 1.5; // bias of filter 0
+        params[l.filters * l.patch_len() + 1] = -2.5; // bias of filter 1
+        let x = Matrix::zeros(1, 25);
+        let mut y = Matrix::zeros(1, l.out_dim());
+        l.forward(&params, &x, &mut y, &mut LayerCache::default());
+        let ohw = 9;
+        assert!(y.row(0)[..ohw].iter().all(|&v| v == 1.5));
+        assert!(y.row(0)[ohw..].iter().all(|&v| v == -2.5));
+    }
+
+    #[test]
+    fn backward_bias_gradient_sums_spatial_positions() {
+        let l = Conv2d::new(1, 4, 4, 1, 3);
+        let params = vec![0.0f32; l.param_len()];
+        let x = Matrix::zeros(1, 16);
+        let y = Matrix::zeros(1, 4);
+        let dy = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut dp = vec![0.0f32; l.param_len()];
+        let mut dx = Matrix::zeros(1, 16);
+        l.backward(&params, &x, &y, &dy, &LayerCache::default(), &mut dp, &mut dx);
+        assert_eq!(dp[l.param_len() - 1], 10.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Finite-difference gradient checking.
+//!
+//! Backpropagation bugs are the classic silent failure of hand-rolled DL
+//! substrates: training still *decreases* the loss while quietly following
+//! a wrong direction, corrupting every downstream conclusion about
+//! convergence rate. This module compares analytic gradients against
+//! central finite differences and is exercised over every layer type by
+//! the test-suite.
+//!
+//! Two FD artifacts are unavoidable in f32 and are handled explicitly:
+//! coordinates whose true gradient is below the FD noise floor (the
+//! relative-error denominator has a floor), and coordinates where the
+//! `±ε` probe straddles a ReLU kink (a handful of isolated outliers even
+//! for a correct gradient — hence the quantile-based acceptance in
+//! [`GradCheckReport::assert_ok`]).
+
+use crate::network::Network;
+use lsgd_tensor::Matrix;
+
+/// Result of a gradient check: per-coordinate relative errors.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Relative error per checked coordinate, `|a - n| / max(0.01, |a|+|n|)`.
+    pub rel_errs: Vec<f32>,
+    /// Parameter index of the worst coordinate.
+    pub worst_index: usize,
+}
+
+impl GradCheckReport {
+    /// Maximum relative error over the checked coordinates.
+    pub fn max_rel_err(&self) -> f32 {
+        self.rel_errs.iter().cloned().fold(0.0, f32::max)
+    }
+
+    /// The `q`-quantile (0..=1) of the relative errors.
+    pub fn quantile(&self, q: f32) -> f32 {
+        let mut sorted = self.rel_errs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f32 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Panics unless (a) the 95th-percentile relative error is below
+    /// `tight` and (b) the maximum is below `max_allowed` (guarding
+    /// against the rare legitimate ReLU-kink outlier while still catching
+    /// systematically wrong gradients).
+    pub fn assert_ok(&self, tight: f32, max_allowed: f32) {
+        let q95 = self.quantile(0.95);
+        let max = self.max_rel_err();
+        assert!(
+            q95 < tight && max < max_allowed,
+            "gradient check failed: q95 = {q95}, max = {max} (worst index {}), \
+             thresholds tight={tight} max={max_allowed}",
+            self.worst_index
+        );
+    }
+}
+
+/// Compares `Network::loss_grad` with central finite differences on
+/// `n_checks` evenly spaced parameter coordinates.
+pub fn check_network_gradient(
+    net: &Network,
+    theta: &[f32],
+    x: &Matrix,
+    y: &[u8],
+    n_checks: usize,
+    epsilon: f32,
+) -> GradCheckReport {
+    let d = net.param_len();
+    assert_eq!(theta.len(), d);
+    let mut ws = net.workspace(x.rows());
+    let mut analytic = vec![0.0f32; d];
+    net.loss_grad(theta, x, y, &mut analytic, &mut ws);
+
+    let step = (d / n_checks.max(1)).max(1);
+    let mut perturbed = theta.to_vec();
+    let mut rel_errs = Vec::new();
+    let mut worst_index = 0usize;
+    let mut worst = 0.0f32;
+    for i in (0..d).step_by(step) {
+        let orig = perturbed[i];
+        perturbed[i] = orig + epsilon;
+        let up = net.loss(&perturbed, x, y, &mut ws);
+        perturbed[i] = orig - epsilon;
+        let down = net.loss(&perturbed, x, y, &mut ws);
+        perturbed[i] = orig;
+        let numeric = (up - down) / (2.0 * epsilon);
+        let a = analytic[i];
+        let rel = (a - numeric).abs() / (a.abs() + numeric.abs()).max(1e-2);
+        if rel > worst {
+            worst = rel;
+            worst_index = i;
+        }
+        rel_errs.push(rel);
+    }
+    GradCheckReport {
+        rel_errs,
+        worst_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::conv::Conv2d;
+    use crate::dense::Dense;
+    use crate::layer::Layer;
+    use crate::network::Network;
+    use crate::pool::MaxPool2d;
+    use lsgd_tensor::SmallRng64;
+
+    fn rand_batch(n: usize, dim: usize, classes: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = SmallRng64::new(seed);
+        let x = Matrix::from_fn(n, dim, |_, _| rng.next_f32() - 0.5);
+        let y = (0..n).map(|_| rng.next_below(classes) as u8).collect();
+        (x, y)
+    }
+
+    /// Init with larger weights (`N(0, 0.01 * scale)` instead of the
+    /// paper's `N(0, 0.01)`) so the true gradients sit far above the f32
+    /// finite-difference noise floor. Deeper stacks need a smaller scale to
+    /// avoid softmax saturation, which flattens the loss beyond f32
+    /// resolution and breaks central differences.
+    fn init(net: &Network, seed: u64, scale: f32) -> Vec<f32> {
+        let mut theta = net.init_params(seed);
+        for v in &mut theta {
+            *v *= scale;
+        }
+        theta
+    }
+
+    #[test]
+    fn dense_network_gradient_is_correct() {
+        let net = Network::new(vec![
+            Box::new(Dense::new(6, 10)),
+            Box::new(Relu::new(10)),
+            Box::new(Dense::new(10, 4)),
+        ]);
+        let theta = init(&net, 1, 50.0);
+        let (x, y) = rand_batch(5, 6, 4, 2);
+        check_network_gradient(&net, &theta, &x, &y, 120, 1e-2).assert_ok(2e-2, 0.2);
+    }
+
+    #[test]
+    fn conv_network_gradient_is_correct() {
+        let c = Conv2d::new(1, 6, 6, 3, 3);
+        let c_out = c.out_dim();
+        let net = Network::new(vec![
+            Box::new(c),
+            Box::new(Relu::new(c_out)),
+            Box::new(Dense::new(c_out, 3)),
+        ]);
+        let theta = init(&net, 3, 50.0);
+        let (x, y) = rand_batch(4, 36, 3, 4);
+        check_network_gradient(&net, &theta, &x, &y, 150, 1e-2).assert_ok(2e-2, 0.2);
+    }
+
+    #[test]
+    fn pool_network_gradient_is_correct() {
+        let c = Conv2d::new(1, 8, 8, 2, 3); // -> 2x6x6
+        let p = MaxPool2d::new(2, 6, 6, 2); // -> 2x3x3
+        let p_out = p.out_dim();
+        let c_out = c.out_dim();
+        let net = Network::new(vec![
+            Box::new(c),
+            Box::new(Relu::new(c_out)),
+            Box::new(p),
+            Box::new(Dense::new(p_out, 3)),
+        ]);
+        let theta = init(&net, 5, 50.0);
+        let (x, y) = rand_batch(3, 64, 3, 6);
+        check_network_gradient(&net, &theta, &x, &y, 150, 1e-2).assert_ok(3e-2, 0.2);
+    }
+
+    #[test]
+    fn deep_mlp_gradient_is_correct() {
+        let net = Network::new(vec![
+            Box::new(Dense::new(5, 12)),
+            Box::new(Relu::new(12)),
+            Box::new(Dense::new(12, 12)),
+            Box::new(Relu::new(12)),
+            Box::new(Dense::new(12, 12)),
+            Box::new(Relu::new(12)),
+            Box::new(Dense::new(12, 3)),
+        ]);
+        let theta = init(&net, 7, 15.0);
+        let (x, y) = rand_batch(6, 5, 3, 8);
+        check_network_gradient(&net, &theta, &x, &y, 200, 1e-2).assert_ok(3e-2, 0.2);
+    }
+
+    #[test]
+    fn quantile_helper_is_monotone() {
+        let rep = GradCheckReport {
+            rel_errs: vec![0.5, 0.1, 0.3, 0.2, 0.4],
+            worst_index: 0,
+        };
+        assert!(rep.quantile(0.0) <= rep.quantile(0.5));
+        assert!(rep.quantile(0.5) <= rep.quantile(1.0));
+        assert_eq!(rep.quantile(1.0), rep.max_rel_err());
+    }
+}

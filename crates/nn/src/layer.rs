@@ -1,0 +1,83 @@
+//! The layer abstraction: forward/backward over flat parameter slices.
+//!
+//! A [`Layer`] owns no parameters — only shape information. Parameters are
+//! passed in as a `&[f32]` slice of the global flat parameter vector and
+//! gradients are written to the matching slice of a flat gradient buffer.
+//! This is the interface the paper's ParameterVector refactor of MiniDNN
+//! introduces: it is what lets the parallel SGD algorithms treat the model
+//! as one shared object with bulk read/update operations.
+
+use lsgd_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// Per-layer, per-thread scratch space reused across iterations.
+///
+/// Layers that need to remember forward-pass state for their backward pass
+/// (max-pool argmax indices, the im2col lowering of a convolution) store it
+/// here instead of in the layer itself, keeping layers immutable and
+/// shareable across the `m` asynchronous workers.
+#[derive(Default)]
+pub struct LayerCache {
+    /// Flat argmax indices recorded by max-pool forward (one per output
+    /// element), consumed by its backward scatter.
+    pub argmax: Vec<u32>,
+    /// im2col lowering buffer for convolution layers (one sample's
+    /// receptive fields as rows).
+    pub im2col: Matrix,
+    /// Secondary scratch matrix (conv backward uses it for the column
+    /// gradient before the col2im scatter).
+    pub scratch: Matrix,
+}
+
+/// A neural-network layer operating on minibatches.
+///
+/// Batch convention: activations are row-major [`Matrix`] of shape
+/// `(batch, dim)`; multi-channel feature maps are flattened NCHW per row.
+pub trait Layer: Send + Sync {
+    /// Short human-readable name (for `describe` tables).
+    fn name(&self) -> &'static str;
+
+    /// Flattened input dimension per sample.
+    fn in_dim(&self) -> usize;
+
+    /// Flattened output dimension per sample.
+    fn out_dim(&self) -> usize;
+
+    /// Number of learnable parameters this layer consumes from the flat
+    /// parameter vector (0 for activations / pooling).
+    fn param_len(&self) -> usize;
+
+    /// Initialises this layer's parameter slice. The paper uses
+    /// `N(0, 0.01)` for all parameters (Algorithm 1, `rand_init`).
+    fn init_params(&self, params: &mut [f32], rng: &mut StdRng) {
+        lsgd_tensor::rng::fill_normal(rng, params, 0.0, 0.01);
+    }
+
+    /// Forward pass: reads `input` `(batch, in_dim)`, writes `output`
+    /// `(batch, out_dim)` (already correctly sized by the caller).
+    fn forward(&self, params: &[f32], input: &Matrix, output: &mut Matrix, cache: &mut LayerCache);
+
+    /// Backward pass.
+    ///
+    /// * `grad_out` — `dL/d output`, shape `(batch, out_dim)`.
+    /// * `grad_params` — `dL/d params` written (not accumulated) here.
+    /// * `grad_in` — `dL/d input` written here, shape `(batch, in_dim)`.
+    ///
+    /// `input`/`output` are the activations recorded by the forward pass.
+    #[allow(clippy::too_many_arguments)]
+    fn backward(
+        &self,
+        params: &[f32],
+        input: &Matrix,
+        output: &Matrix,
+        grad_out: &Matrix,
+        cache: &LayerCache,
+        grad_params: &mut [f32],
+        grad_in: &mut Matrix,
+    );
+
+    /// One-line architecture description, e.g. `Dense 784 -> 128`.
+    fn describe(&self) -> String {
+        format!("{} {} -> {}", self.name(), self.in_dim(), self.out_dim())
+    }
+}

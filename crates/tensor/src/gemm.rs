@@ -1,0 +1,420 @@
+//! Blocked general matrix multiplication.
+//!
+//! `gemm` computes `C = alpha * op(A) * op(B) + beta * C` where `op` is
+//! identity or transpose, covering the four orientations backpropagation
+//! needs (`X·Wᵀ`, `dYᵀ·X`, `dY·W`, …) without materialising transposed
+//! copies.
+//!
+//! Two entry points are provided:
+//!
+//! * [`gemm`] over [`Matrix`] operands, and
+//! * [`gemm_slices`] over raw `&[f32]` row-major buffers with explicit
+//!   shapes — used by the neural-network layers, whose weight matrices are
+//!   *sub-slices of the flat ParameterVector* (the paper's central data
+//!   structure) and must be multiplied in place without copies.
+//!
+//! The kernel is a cache-blocked triple loop in `ikj` order with the inner
+//! loop over contiguous `C`/`B` rows so the compiler auto-vectorises it.
+//! For the shapes in the Leashed-SGD experiments (minibatch 512, layer
+//! widths 128–784) this is within a small factor of a tuned BLAS and —
+//! more importantly for the paper's measurements — has the same *relative*
+//! cost profile between the MLP GEMMs and the CNN's many small GEMMs.
+
+use crate::matrix::Matrix;
+
+/// Whether an operand participates as itself or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Transpose {
+    #[inline]
+    fn is_t(self) -> bool {
+        matches!(self, Transpose::Yes)
+    }
+}
+
+/// Blocking factor over the reduction (k) dimension, sized so that a block
+/// of B rows stays in L1 alongside the C accumulator rows.
+const KC: usize = 256;
+/// Blocking factor over the M dimension.
+const MC: usize = 64;
+
+/// `C = alpha * op(A) * op(B) + beta * C` over raw row-major slices.
+///
+/// `a_shape`, `b_shape` are the *stored* shapes `(rows, cols)` of the
+/// buffers (before `op` is applied); `c_shape` is the shape of `C`.
+///
+/// # Panics
+/// Panics if any buffer length or the operand shapes are inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slices(
+    alpha: f32,
+    a: &[f32],
+    a_shape: (usize, usize),
+    ta: Transpose,
+    b: &[f32],
+    b_shape: (usize, usize),
+    tb: Transpose,
+    beta: f32,
+    c: &mut [f32],
+    c_shape: (usize, usize),
+) {
+    assert_eq!(a.len(), a_shape.0 * a_shape.1, "gemm: A buffer length");
+    assert_eq!(b.len(), b_shape.0 * b_shape.1, "gemm: B buffer length");
+    assert_eq!(c.len(), c_shape.0 * c_shape.1, "gemm: C buffer length");
+    let (m, k) = if ta.is_t() {
+        (a_shape.1, a_shape.0)
+    } else {
+        a_shape
+    };
+    let (kb, n) = if tb.is_t() {
+        (b_shape.1, b_shape.0)
+    } else {
+        b_shape
+    };
+    assert_eq!(k, kb, "gemm: inner dimensions disagree ({k} vs {kb})");
+    assert_eq!(c_shape, (m, n), "gemm: C shape");
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.iter_mut().for_each(|v| *v = 0.0);
+        } else {
+            c.iter_mut().for_each(|v| *v *= beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Dispatch on orientation; each variant keeps its inner loop contiguous.
+    match (ta.is_t(), tb.is_t()) {
+        (false, false) => gemm_nn(alpha, a, b, c, m, n, k),
+        (false, true) => gemm_nt(alpha, a, b, c, m, n, k),
+        (true, false) => gemm_tn(alpha, a, b, c, m, n, k),
+        (true, true) => gemm_tt(alpha, a, b, c, m, n, k),
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C` over [`Matrix`] operands.
+///
+/// # Panics
+/// Panics if the shapes are inconsistent.
+pub fn gemm(
+    alpha: f32,
+    a: &Matrix,
+    ta: Transpose,
+    b: &Matrix,
+    tb: Transpose,
+    beta: f32,
+    c: &mut Matrix,
+) {
+    let a_shape = (a.rows(), a.cols());
+    let b_shape = (b.rows(), b.cols());
+    let c_shape = (c.rows(), c.cols());
+    gemm_slices(
+        alpha,
+        a.as_slice(),
+        a_shape,
+        ta,
+        b.as_slice(),
+        b_shape,
+        tb,
+        beta,
+        c.as_mut_slice(),
+        c_shape,
+    );
+}
+
+/// Convenience wrapper allocating the output: `op(A) * op(B)`.
+pub fn matmul(a: &Matrix, ta: Transpose, b: &Matrix, tb: Transpose) -> Matrix {
+    let m = if ta.is_t() { a.cols() } else { a.rows() };
+    let n = if tb.is_t() { b.rows() } else { b.cols() };
+    let mut c = Matrix::zeros(m, n);
+    gemm(1.0, a, ta, b, tb, 0.0, &mut c);
+    c
+}
+
+#[inline]
+fn row(buf: &[f32], r: usize, cols: usize) -> &[f32] {
+    &buf[r * cols..(r + 1) * cols]
+}
+
+#[inline]
+fn row_mut(buf: &mut [f32], r: usize, cols: usize) -> &mut [f32] {
+    &mut buf[r * cols..(r + 1) * cols]
+}
+
+/// C += alpha * A * B — A is m×k, B is k×n. ikj loop, blocked.
+fn gemm_nn(alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    for i0 in (0..m).step_by(MC) {
+        let i1 = (i0 + MC).min(m);
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            for i in i0..i1 {
+                let arow = &row(a, i, k)[k0..k1];
+                let crow = row_mut(c, i, n);
+                for (kk, &aik) in arow.iter().enumerate() {
+                    let aik = alpha * aik;
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = row(b, k0 + kk, n);
+                    axpy_inner(aik, brow, crow);
+                }
+            }
+        }
+    }
+}
+
+/// C += alpha * A * Bᵀ — A is m×k, B is n×k (C[i][j] = A-row i · B-row j).
+fn gemm_nt(alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        let arow = row(a, i, k);
+        let crow = row_mut(c, i, n);
+        for (j, cij) in crow.iter_mut().enumerate().take(n) {
+            let brow = row(b, j, k);
+            *cij += alpha * dot_inner(arow, brow);
+        }
+    }
+}
+
+/// C += alpha * Aᵀ * B — A is k×m, B is k×n. Accumulate rank-1 updates row by row.
+fn gemm_tn(alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    for kk in 0..k {
+        let arow = row(a, kk, m);
+        let brow = row(b, kk, n);
+        for (i, &aik) in arow.iter().enumerate().take(m) {
+            let aik = alpha * aik;
+            if aik == 0.0 {
+                continue;
+            }
+            let crow = row_mut(c, i, n);
+            axpy_inner(aik, brow, crow);
+        }
+    }
+}
+
+/// C += alpha * Aᵀ * Bᵀ — A is k×m, B is n×k. Rare orientation; explicit indexing.
+fn gemm_tt(alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            let brow = row(b, j, k);
+            for (kk, &bjk) in brow.iter().enumerate() {
+                acc += a[kk * m + i] * bjk;
+            }
+            c[i * n + j] += alpha * acc;
+        }
+    }
+}
+
+/// y += a * x over equal-length slices; shaped for auto-vectorisation.
+#[inline]
+fn axpy_inner(a: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &mut y[..n]);
+    for i in 0..n {
+        y[i] += a * x[i];
+    }
+}
+
+/// Dot product over equal-length slices with 4-way unrolling for ILP.
+#[inline]
+fn dot_inner(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let mut acc = [0.0f32; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..n {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: naive triple loop with explicit transposes.
+    fn gemm_ref(
+        alpha: f32,
+        a: &Matrix,
+        ta: Transpose,
+        b: &Matrix,
+        tb: Transpose,
+        beta: f32,
+        c: &Matrix,
+    ) -> Matrix {
+        let at = |i: usize, k: usize| {
+            if ta.is_t() {
+                a.get(k, i)
+            } else {
+                a.get(i, k)
+            }
+        };
+        let bt = |k: usize, j: usize| {
+            if tb.is_t() {
+                b.get(j, k)
+            } else {
+                b.get(k, j)
+            }
+        };
+        let (m, k) = if ta.is_t() {
+            (a.cols(), a.rows())
+        } else {
+            (a.rows(), a.cols())
+        };
+        let n = if tb.is_t() { b.rows() } else { b.cols() };
+        Matrix::from_fn(m, n, |i, j| {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += at(i, kk) * bt(kk, j);
+            }
+            alpha * acc + beta * c.get(i, j)
+        })
+    }
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = crate::rng::SmallRng64::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| s.next_f32() * 2.0 - 1.0)
+    }
+
+    fn check_all_orientations(m: usize, n: usize, k: usize, seed: u64) {
+        for (ta, ar, ac) in [(Transpose::No, m, k), (Transpose::Yes, k, m)] {
+            for (tb, br, bc) in [(Transpose::No, k, n), (Transpose::Yes, n, k)] {
+                let a = rand_mat(ar, ac, seed);
+                let b = rand_mat(br, bc, seed + 1);
+                let c0 = rand_mat(m, n, seed + 2);
+                let expected = gemm_ref(0.7, &a, ta, &b, tb, 0.3, &c0);
+                let mut c = c0.clone();
+                gemm(0.7, &a, ta, &b, tb, 0.3, &mut c);
+                let err = c.max_abs_diff(&expected);
+                assert!(
+                    err < 1e-3 * (k as f32).max(1.0),
+                    "orientation ({ta:?},{tb:?}) m={m} n={n} k={k}: err {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_square() {
+        check_all_orientations(4, 4, 4, 11);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        check_all_orientations(3, 7, 5, 22);
+        check_all_orientations(7, 3, 5, 33);
+        check_all_orientations(1, 9, 2, 44);
+    }
+
+    #[test]
+    fn shapes_crossing_block_boundaries() {
+        check_all_orientations(65, 17, 260, 55);
+        check_all_orientations(130, 5, 257, 66);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        // k = 0 leaves beta*C.
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut c = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.5, &mut c);
+        assert!(c.as_slice().iter().all(|&v| (v - 0.5).abs() < 1e-7));
+    }
+
+    #[test]
+    fn alpha_zero_scales_c_only() {
+        let a = rand_mat(3, 3, 1);
+        let b = rand_mat(3, 3, 2);
+        let mut c = Matrix::from_vec(3, 3, vec![2.0; 9]);
+        gemm(0.0, &a, Transpose::No, &b, Transpose::No, 2.0, &mut c);
+        assert!(c.as_slice().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 9;
+        let eye = Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 });
+        let x = rand_mat(n, n, 7);
+        let got = matmul(&eye, Transpose::No, &x, Transpose::No);
+        assert!(got.max_abs_diff(&x) < 1e-6);
+        let got = matmul(&x, Transpose::No, &eye, Transpose::No);
+        assert!(got.max_abs_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        let a = rand_mat(2, 5, 3);
+        let b = rand_mat(5, 4, 4);
+        let c = matmul(&a, Transpose::No, &b, Transpose::No);
+        assert_eq!((c.rows(), c.cols()), (2, 4));
+        let c = matmul(&a, Transpose::Yes, &a, Transpose::No);
+        assert_eq!((c.rows(), c.cols()), (5, 5));
+    }
+
+    #[test]
+    fn transpose_equivalence_against_materialized() {
+        // op(A)=Aᵀ must equal multiplying by the materialised transpose.
+        let a = rand_mat(6, 4, 9);
+        let b = rand_mat(6, 5, 10);
+        let fast = matmul(&a, Transpose::Yes, &b, Transpose::No);
+        let slow = matmul(&a.transposed(), Transpose::No, &b, Transpose::No);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn slice_api_matches_matrix_api() {
+        let a = rand_mat(5, 6, 20);
+        let b = rand_mat(6, 4, 21);
+        let mut c1 = Matrix::zeros(5, 4);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c1);
+        let mut c2 = vec![0.0f32; 20];
+        gemm_slices(
+            1.0,
+            a.as_slice(),
+            (5, 6),
+            Transpose::No,
+            b.as_slice(),
+            (6, 4),
+            Transpose::No,
+            0.0,
+            &mut c2,
+            (5, 4),
+        );
+        assert_eq!(c1.as_slice(), &c2[..]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_api_rejects_bad_buffer_length() {
+        let mut c = vec![0.0f32; 4];
+        gemm_slices(
+            1.0,
+            &[1.0; 5],
+            (2, 3),
+            Transpose::No,
+            &[1.0; 6],
+            (3, 2),
+            Transpose::No,
+            0.0,
+            &mut c,
+            (2, 2),
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Numerically-stable softmax / log-sum-exp helpers.
+//!
+//! The paper's networks end in a softmax layer feeding a cross-entropy
+//! loss; both are computed here in the max-subtracted form so that large
+//! logits (which appear the moment an execution starts to destabilise —
+//! exactly the "Crash" regime the paper tracks) do not overflow before the
+//! crash detector sees them.
+
+/// In-place stable softmax over a single slice.
+///
+/// Empty input is a no-op.
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in x.iter_mut() {
+            *v *= inv;
+        }
+    } else {
+        // All logits were -inf (or NaN poisoned): fall back to uniform so the
+        // caller's loss turns into a large-but-finite value rather than NaN
+        // where possible.
+        let u = 1.0 / x.len() as f32;
+        for v in x.iter_mut() {
+            *v = u;
+        }
+    }
+}
+
+/// Stable `log(sum(exp(x)))`.
+pub fn log_sum_exp(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f32 = x.iter().map(|v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Cross-entropy `-log p[target]` computed directly from logits in the
+/// fused stable form `logsumexp(z) - z[target]`.
+///
+/// # Panics
+/// Panics if `target >= logits.len()`.
+pub fn cross_entropy_from_logits(logits: &[f32], target: usize) -> f32 {
+    assert!(target < logits.len(), "target class out of range");
+    log_sum_exp(logits) - logits[target]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut x = [1.0, 2.0, 3.0];
+        softmax_inplace(&mut x);
+        let s: f32 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_translation_invariant() {
+        let mut a = [1.0, 2.0, 3.0];
+        let mut b = [1001.0, 1002.0, 1003.0];
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_huge_logits() {
+        let mut x = [1e30f32, -1e30, 0.0];
+        softmax_inplace(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_in_safe_range() {
+        let x = [0.1f32, -0.4, 0.7];
+        let naive = x.iter().map(|v| v.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&x) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits_is_log_k() {
+        let logits = [0.0f32; 10];
+        let ce = cross_entropy_from_logits(&logits, 3);
+        assert!((ce - (10f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let mut logits = [0.0f32; 10];
+        logits[7] = 20.0;
+        assert!(cross_entropy_from_logits(&logits, 7) < 1e-3);
+        assert!(cross_entropy_from_logits(&logits, 2) > 10.0);
+    }
+
+    #[test]
+    fn empty_softmax_noop() {
+        let mut x: [f32; 0] = [];
+        softmax_inplace(&mut x);
+    }
+}

@@ -1,0 +1,203 @@
+//! Seeded random sources.
+//!
+//! Two generators are provided:
+//!
+//! * [`SmallRng64`] — a tiny, dependency-free SplitMix64/xorshift-based
+//!   generator used inside this crate's tests and in hot data-generation
+//!   loops where constructing a full `StdRng` per call would dominate.
+//! * Re-exported helpers over [`rand`]'s `StdRng` for code that wants the
+//!   external crate's ecosystem (distribution of work across the other
+//!   crates in the workspace).
+//!
+//! The Box–Muller [`normal`]/[`fill_normal`] helpers implement the paper's
+//! parameter initialisation `theta ~ N(0, 0.01)` (Algorithm 1,
+//! `rand_init`), avoiding an extra `rand_distr` dependency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt as _, SeedableRng};
+
+/// Minimal xorshift64* PRNG. Deterministic, `Copy`-cheap, good enough for
+/// data synthesis and shuffling (not for cryptography).
+#[derive(Debug, Clone)]
+pub struct SmallRng64 {
+    state: u64,
+}
+
+impl SmallRng64 {
+    /// Creates a generator from a seed; a zero seed is remapped to a fixed
+    /// non-zero constant because xorshift has an all-zero fixed point.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        // SplitMix64 scramble so that consecutive seeds give uncorrelated streams.
+        s = s.wrapping_add(0x9E3779B97F4A7C15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D049BB133111EB);
+        s ^= s >> 31;
+        if s == 0 {
+            s = 0x9E3779B97F4A7C15;
+        }
+        SmallRng64 { state: s }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 mantissa-significant bits.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_below: empty range");
+        // Multiply-shift bounded sampling; bias is negligible for n << 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Standard normal sample via Box–Muller.
+    #[inline]
+    pub fn next_normal(&mut self) -> f32 {
+        // Avoid log(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Seeded `StdRng` constructor, the conventional entry point for the rest
+/// of the workspace.
+pub fn std_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One `N(mean, std²)` sample from an arbitrary [`rand::Rng`], via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f32, std: f32) -> f32 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    let z: f64 = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z as f32
+}
+
+/// Fills `out` with i.i.d. `N(mean, std²)` samples — the paper's
+/// `rand_init()` with `mean = 0`, `std = 0.01`.
+pub fn fill_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f32], mean: f32, std: f32) {
+    for v in out {
+        *v = normal(rng, mean, std);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SmallRng64::new(42);
+        let mut b = SmallRng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng64::new(1);
+        let mut b = SmallRng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut r = SmallRng64::new(7);
+        for _ in 0..10_000 {
+            let v = r.next_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SmallRng64::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = r.next_below(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = SmallRng64::new(11);
+        let n = 50_000;
+        let (mut sum, mut sq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let v = r.next_normal() as f64;
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn fill_normal_matches_requested_std() {
+        let mut rng = std_rng(5);
+        let mut buf = vec![0.0f32; 20_000];
+        fill_normal(&mut rng, &mut buf, 0.0, 0.01);
+        let mean = buf.iter().map(|&v| v as f64).sum::<f64>() / buf.len() as f64;
+        let var =
+            buf.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / buf.len() as f64;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var.sqrt() - 0.01).abs() < 1e-3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SmallRng64::new(9);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+}

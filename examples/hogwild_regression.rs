@@ -1,0 +1,66 @@
+//! Sparse convex regression — the regime HOGWILD! was designed for.
+//!
+//! The original HOGWILD! analysis assumes sparse gradients on a convex
+//! problem: concurrent component-wise updates rarely collide, so dropping
+//! synchronisation costs almost nothing statistically. This example runs
+//! that workload and contrasts it with Leashed-SGD, showing both converge
+//! — and then makes the problem *dense*, where HOGWILD!'s lost updates
+//! start to bite while consistent publication does not.
+//!
+//! ```text
+//! cargo run --release --example hogwild_regression
+//! ```
+
+use leashed_sgd::core::prelude::*;
+use leashed_sgd::data::regression::{dense_regression, sparse_regression};
+use std::time::Duration;
+
+fn run(label: &str, problem: &RegressionProblem) {
+    println!("\n=== {label} ===");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "algo", "10% time", "updates/s", "final mse"
+    );
+    for algo in [
+        Algorithm::Sequential,
+        Algorithm::Hogwild,
+        Algorithm::Leashed { persistence: Some(1) },
+    ] {
+        let cfg = TrainConfig {
+            algorithm: algo,
+            threads: 4,
+            eta: 0.01,
+            epsilons: vec![0.1],
+            max_wall: Duration::from_secs(15),
+            eval_every: Duration::from_millis(20),
+            seed: 5,
+            ..TrainConfig::default()
+        };
+        let r = train(problem, &cfg);
+        println!(
+            "{:<12} {:>12} {:>12.0} {:>10.4}",
+            algo.label(),
+            r.time_to(0.1)
+                .map(|s| format!("{s:.2}s"))
+                .unwrap_or_else(|| "-".into()),
+            r.updates_per_sec(),
+            r.final_loss,
+        );
+    }
+}
+
+fn main() {
+    // Sparse: 1000 samples in 200 dims, 5 nonzeros per sample.
+    let sparse = RegressionProblem::new(sparse_regression(1_000, 200, 5, 0.05, 11), 8);
+    run("sparse regression (HOGWILD!'s home turf)", &sparse);
+
+    // Dense: every update touches every coordinate.
+    let dense = RegressionProblem::new(dense_regression(1_000, 200, 0.05, 12), 8);
+    run("dense regression (collisions everywhere)", &dense);
+
+    println!(
+        "\nBoth regimes converge here — the sparse case is where HOGWILD!'s \
+         \nasynchrony is provably near-free; the dense non-convex DL problems \
+         \nof the paper are where consistency starts to pay (see fig4/fig7)."
+    );
+}

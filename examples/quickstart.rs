@@ -1,0 +1,42 @@
+//! Quickstart: train a small classifier with Leashed-SGD in ~30 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use leashed_sgd::core::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // 1. A dataset: three well-separated Gaussian blobs in 6 dimensions.
+    let data = leashed_sgd::data::blobs::gaussian_blobs(1_000, 6, 3, 0.3, 42);
+
+    // 2. A model: a tiny MLP, its parameters flattened into one vector —
+    //    the ParameterVector abstraction the algorithms share.
+    let net = leashed_sgd::nn::tiny_mlp(6, 16, 3);
+    let problem = NnProblem::new(net, data, 32, 256);
+
+    // 3. Train with Leashed-SGD (lock-free, consistent), 4 workers,
+    //    persistence bound 1.
+    let cfg = TrainConfig {
+        algorithm: Algorithm::Leashed { persistence: Some(1) },
+        threads: 4,
+        eta: 0.15,
+        epsilons: vec![0.5, 0.1], // stop at 10% of the initial loss
+        max_wall: Duration::from_secs(30),
+        ..TrainConfig::default()
+    };
+    let result = train(&problem, &cfg);
+
+    // 4. Inspect the outcome.
+    println!("{}", result.summary());
+    for (eps, outcome) in &result.outcomes {
+        println!("  eps {:>4.0}% -> {:?}", eps * 100.0, outcome);
+    }
+    println!(
+        "  staleness: mean {:.2}, p95 {}",
+        result.staleness.mean(),
+        result.staleness.quantile(0.95)
+    );
+    assert!(result.fully_converged(), "expected convergence on blobs");
+}

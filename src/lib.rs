@@ -1,0 +1,8 @@
+#![warn(missing_docs)]
+//! Umbrella crate re-exporting the full Leashed-SGD reproduction API.
+pub use lsgd_core as core;
+pub use lsgd_data as data;
+pub use lsgd_dynamics as dynamics;
+pub use lsgd_metrics as metrics;
+pub use lsgd_nn as nn;
+pub use lsgd_tensor as tensor;

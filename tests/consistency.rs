@@ -1,0 +1,203 @@
+//! Cross-crate consistency stress tests for the ParameterVector protocol.
+//!
+//! These test the paper's central claim — Leashed-SGD is *consistent*:
+//! every published update is applied exactly once, atomically, onto the
+//! previous published state (Lemma 1). HOGWILD!, by design, satisfies
+//! none of this; the contrast test documents the difference.
+
+use leashed_sgd::core::baseline::HogwildParams;
+use leashed_sgd::core::mem::MemoryGauge;
+use leashed_sgd::core::paramvec::{LeashedShared, PublishOutcome};
+use leashed_sgd::core::pool::BufferPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn shared(dim: usize) -> LeashedShared {
+    let pool = BufferPool::new(dim, Arc::new(MemoryGauge::new()));
+    LeashedShared::new(&vec![0.0f32; dim], pool)
+}
+
+/// No update is ever lost or double-applied: with integer-valued gradients
+/// and eta = 1, the final parameter equals the exact sum of all published
+/// gradients regardless of interleaving (f32 is exact on integers < 2^24).
+#[test]
+fn published_updates_are_applied_exactly_once() {
+    let dim = 64;
+    let threads = 4;
+    let per_thread = 400u64;
+    let s = Arc::new(shared(dim));
+    let total_published: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+    let mut per_thread_published = Vec::new();
+    std::thread::scope(|sc| {
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let s = Arc::clone(&s);
+            let total = Arc::clone(&total_published);
+            handles.push(sc.spawn(move || {
+                // Thread tid publishes gradient -(tid+1) (so theta grows by
+                // tid+1 per publish with eta = 1).
+                let grad = vec![-((tid + 1) as f32); dim];
+                let mut sum = 0u64;
+                for _ in 0..per_thread {
+                    match s.publish_update(&grad, 1.0, None, |_| {}) {
+                        PublishOutcome::Published { .. } => {
+                            sum += (tid + 1) as u64;
+                            total.fetch_add(1, Ordering::Relaxed);
+                        }
+                        PublishOutcome::Aborted { .. } => unreachable!("no persistence bound"),
+                    }
+                }
+                sum
+            }));
+        }
+        for h in handles {
+            per_thread_published.push(h.join().unwrap());
+        }
+    });
+    let expected: u64 = per_thread_published.iter().sum();
+    let guard = s.latest();
+    for &v in guard.theta() {
+        assert_eq!(v as u64, expected, "exact once-only application");
+    }
+    assert_eq!(guard.seq(), total_published.load(Ordering::Relaxed));
+}
+
+/// Reads are monotone: a read preceded by another read never returns an
+/// older vector (paper P3).
+#[test]
+fn reads_are_monotone_per_thread() {
+    let dim = 32;
+    let s = Arc::new(shared(dim));
+    std::thread::scope(|sc| {
+        // One writer continuously publishing.
+        let writer = {
+            let s = Arc::clone(&s);
+            sc.spawn(move || {
+                let grad = vec![-1.0f32; dim];
+                for _ in 0..5_000 {
+                    s.publish_update(&grad, 1.0, None, |_| {});
+                }
+            })
+        };
+        // Readers check their observed sequence numbers never decrease.
+        for _ in 0..3 {
+            let s = Arc::clone(&s);
+            sc.spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..20_000 {
+                    let seq = s.latest().seq();
+                    assert!(seq >= last, "read went backwards: {seq} < {last}");
+                    last = seq;
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// Vector contents always correspond exactly to the sequence number —
+/// atomicity of the published snapshot under heavy churn.
+#[test]
+fn snapshots_are_never_torn() {
+    let dim = 128;
+    let s = Arc::new(shared(dim));
+    std::thread::scope(|sc| {
+        for _ in 0..2 {
+            let s = Arc::clone(&s);
+            sc.spawn(move || {
+                let grad = vec![-1.0f32; dim];
+                for _ in 0..2_500 {
+                    s.publish_update(&grad, 1.0, None, |_| {});
+                }
+            });
+        }
+        for _ in 0..2 {
+            let s = Arc::clone(&s);
+            sc.spawn(move || {
+                let mut buf = vec![0.0f32; dim];
+                for _ in 0..10_000 {
+                    let seq = s.snapshot_into(&mut buf);
+                    // Every component must equal the update count (+1 per
+                    // publish), i.e. the whole snapshot is one atomic state.
+                    for &v in &buf {
+                        assert_eq!(v as u64, seq, "torn snapshot at seq {seq}");
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The HOGWILD! contrast: the same integer-gradient workload *does* lose
+/// updates under contention — demonstrating precisely the inconsistency
+/// Leashed-SGD removes. (Losing updates is legal for HOGWILD!; observing
+/// zero losses on a single-core box is also legal, so this test only
+/// checks bounds, not that losses occur.)
+#[test]
+fn hogwild_may_lose_updates_but_never_exceeds_total() {
+    let dim = 64;
+    let threads = 4;
+    let per_thread = 2_000u64;
+    let p = Arc::new(HogwildParams::new(
+        &vec![0.0f32; dim],
+        Arc::new(MemoryGauge::new()),
+    ));
+    std::thread::scope(|sc| {
+        for _ in 0..threads {
+            let p = Arc::clone(&p);
+            sc.spawn(move || {
+                let grad = vec![-1.0f32; dim];
+                for _ in 0..per_thread {
+                    p.update(&grad, 1.0);
+                }
+            });
+        }
+    });
+    let total = threads as u64 * per_thread;
+    let mut buf = vec![0.0f32; dim];
+    p.read_into(&mut buf);
+    for &v in &buf {
+        let v = v as u64;
+        assert!(v <= total, "component exceeds total applied updates");
+        assert!(v > 0, "some updates must land");
+    }
+    assert_eq!(p.current_seq(), total, "the FAA counter itself is exact");
+}
+
+/// Aborted updates have no effect on the shared state.
+#[test]
+fn aborted_updates_leave_no_trace() {
+    let dim = 16;
+    let s = Arc::new(shared(dim));
+    let aborted_total = Arc::new(AtomicU64::new(0));
+    let published_total = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|sc| {
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            let aborted = Arc::clone(&aborted_total);
+            let published = Arc::clone(&published_total);
+            sc.spawn(move || {
+                let grad = vec![-1.0f32; dim];
+                for _ in 0..1_000 {
+                    match s.publish_update(&grad, 1.0, Some(0), |_| {}) {
+                        PublishOutcome::Published { .. } => {
+                            published.fetch_add(1, Ordering::Relaxed);
+                        }
+                        PublishOutcome::Aborted { .. } => {
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let guard = s.latest();
+    let published = published_total.load(Ordering::Relaxed);
+    for &v in guard.theta() {
+        assert_eq!(
+            v as u64, published,
+            "state reflects only published updates"
+        );
+    }
+    assert_eq!(guard.seq(), published);
+}

@@ -81,15 +81,32 @@ pub fn check_network_gradient(
     let mut worst_index = 0usize;
     let mut worst = 0.0f32;
     for i in (0..d).step_by(step) {
-        let orig = perturbed[i];
-        perturbed[i] = orig + epsilon;
-        let up = net.loss(&perturbed, x, y, &mut ws);
-        perturbed[i] = orig - epsilon;
-        let down = net.loss(&perturbed, x, y, &mut ws);
-        perturbed[i] = orig;
-        let numeric = (up - down) / (2.0 * epsilon);
+        let mut fd = |eps: f32, buf: &mut Vec<f32>| {
+            let orig = buf[i];
+            buf[i] = orig + eps;
+            let up = net.loss(buf, x, y, &mut ws);
+            buf[i] = orig - eps;
+            let down = net.loss(buf, x, y, &mut ws);
+            buf[i] = orig;
+            (up - down) / (2.0 * eps)
+        };
         let a = analytic[i];
-        let rel = (a - numeric).abs() / (a.abs() + numeric.abs()).max(1e-2);
+        let rel_at = |numeric: f32| (a - numeric).abs() / (a.abs() + numeric.abs()).max(1e-2);
+        let mut rel = rel_at(fd(epsilon, &mut perturbed));
+        // An isolated large error can be an FD artifact (the ±ε probe
+        // straddling a ReLU/max-pool kink) rather than a gradient bug. The
+        // two are separable: a wrong analytic gradient disagrees with the
+        // FD estimate at *every* ε, while a kink artifact disappears once
+        // the probe no longer crosses the kink. Refine suspicious
+        // coordinates with shrinking ε and keep their best estimate.
+        if rel > 1e-2 {
+            for shrink in [8.0, 64.0] {
+                rel = rel.min(rel_at(fd(epsilon / shrink, &mut perturbed)));
+                if rel <= 1e-2 {
+                    break;
+                }
+            }
+        }
         if rel > worst {
             worst = rel;
             worst_index = i;

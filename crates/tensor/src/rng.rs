@@ -14,7 +14,7 @@
 //! `rand_init`), avoiding an extra `rand_distr` dependency.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt as _, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Minimal xorshift64* PRNG. Deterministic, `Copy`-cheap, good enough for
 /// data synthesis and shuffling (not for cryptography).
@@ -105,7 +105,7 @@ pub fn std_rng(seed: u64) -> StdRng {
 }
 
 /// One `N(mean, std²)` sample from an arbitrary [`rand::Rng`], via Box–Muller.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f32, std: f32) -> f32 {
+pub fn normal<R: Rng>(rng: &mut R, mean: f32, std: f32) -> f32 {
     let u1: f64 = rng.random::<f64>().max(1e-12);
     let u2: f64 = rng.random::<f64>();
     let z: f64 = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -114,7 +114,7 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f32, std: f32) -> f32 {
 
 /// Fills `out` with i.i.d. `N(mean, std²)` samples — the paper's
 /// `rand_init()` with `mean = 0`, `std = 0.01`.
-pub fn fill_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f32], mean: f32, std: f32) {
+pub fn fill_normal<R: Rng>(rng: &mut R, out: &mut [f32], mean: f32, std: f32) {
     for v in out {
         *v = normal(rng, mean, std);
     }

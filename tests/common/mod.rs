@@ -1,0 +1,46 @@
+//! Shared helpers for the threaded integration tests.
+
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Converts a hung test into a prompt failure.
+///
+/// In-loop deadline checks cannot catch a thread stuck *inside* a
+/// protocol call (e.g. a livelocked publish CAS loop): control never
+/// returns to the loop, and `std::thread::scope` would then block the
+/// whole suite on join. A detached watchdog thread sidesteps both — if
+/// the guard is not dropped within `limit`, it aborts the process so CI
+/// reports a crash immediately instead of idling until the job timeout.
+pub struct Watchdog {
+    disarm: Option<Sender<()>>,
+}
+
+impl Watchdog {
+    /// Arms a watchdog for the calling test. Keep the guard alive for the
+    /// duration of the test body; dropping it disarms the watchdog.
+    pub fn arm(name: &'static str, limit: Duration) -> Watchdog {
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            if let Err(RecvTimeoutError::Timeout) = rx.recv_timeout(limit) {
+                eprintln!(
+                    "watchdog: test '{name}' still running after {limit:?}; \
+                     aborting the test binary so the hang fails promptly"
+                );
+                std::process::abort();
+            }
+        });
+        Watchdog { disarm: Some(tx) }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        // Dropping the sender disconnects the channel; the watchdog
+        // thread's recv_timeout returns Disconnected and it exits.
+        self.disarm.take();
+    }
+}
+
+/// Default per-test ceiling: every stress test finishes in well under a
+/// second even on a 2-core CI box, so a minute means "hung".
+pub const STRESS_LIMIT: Duration = Duration::from_secs(60);

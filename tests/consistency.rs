@@ -5,6 +5,9 @@
 //! previous published state (Lemma 1). HOGWILD!, by design, satisfies
 //! none of this; the contrast test documents the difference.
 
+mod common;
+
+use common::{Watchdog, STRESS_LIMIT};
 use leashed_sgd::core::baseline::HogwildParams;
 use leashed_sgd::core::mem::MemoryGauge;
 use leashed_sgd::core::paramvec::{LeashedShared, PublishOutcome};
@@ -22,6 +25,7 @@ fn shared(dim: usize) -> LeashedShared {
 /// gradients regardless of interleaving (f32 is exact on integers < 2^24).
 #[test]
 fn published_updates_are_applied_exactly_once() {
+    let _watchdog = Watchdog::arm("published_updates_are_applied_exactly_once", STRESS_LIMIT);
     let dim = 64;
     let threads = 4;
     let per_thread = 400u64;
@@ -66,6 +70,7 @@ fn published_updates_are_applied_exactly_once() {
 /// older vector (paper P3).
 #[test]
 fn reads_are_monotone_per_thread() {
+    let _watchdog = Watchdog::arm("reads_are_monotone_per_thread", STRESS_LIMIT);
     let dim = 32;
     let s = Arc::new(shared(dim));
     std::thread::scope(|sc| {
@@ -99,6 +104,7 @@ fn reads_are_monotone_per_thread() {
 /// atomicity of the published snapshot under heavy churn.
 #[test]
 fn snapshots_are_never_torn() {
+    let _watchdog = Watchdog::arm("snapshots_are_never_torn", STRESS_LIMIT);
     let dim = 128;
     let s = Arc::new(shared(dim));
     std::thread::scope(|sc| {
@@ -135,6 +141,7 @@ fn snapshots_are_never_torn() {
 /// checks bounds, not that losses occur.)
 #[test]
 fn hogwild_may_lose_updates_but_never_exceeds_total() {
+    let _watchdog = Watchdog::arm("hogwild_may_lose_updates_but_never_exceeds_total", STRESS_LIMIT);
     let dim = 64;
     let threads = 4;
     let per_thread = 2_000u64;
@@ -167,6 +174,7 @@ fn hogwild_may_lose_updates_but_never_exceeds_total() {
 /// Aborted updates have no effect on the shared state.
 #[test]
 fn aborted_updates_leave_no_trace() {
+    let _watchdog = Watchdog::arm("aborted_updates_leave_no_trace", STRESS_LIMIT);
     let dim = 16;
     let s = Arc::new(shared(dim));
     let aborted_total = Arc::new(AtomicU64::new(0));

@@ -1,5 +1,8 @@
 //! Memory-reclamation safety and bounds under load (paper Lemma 2).
 
+mod common;
+
+use common::{Watchdog, STRESS_LIMIT};
 use leashed_sgd::core::mem::MemoryGauge;
 use leashed_sgd::core::paramvec::LeashedShared;
 use leashed_sgd::core::pool::BufferPool;
@@ -16,6 +19,7 @@ fn make(dim: usize) -> (Arc<MemoryGauge>, LeashedShared) {
 /// read-held and one in-flight new vector per thread).
 #[test]
 fn outstanding_buffers_bounded_by_lemma_2() {
+    let _watchdog = Watchdog::arm("outstanding_buffers_bounded_by_lemma_2", STRESS_LIMIT);
     let dim = 512;
     for m in [1usize, 2, 4, 8] {
         let (_gauge, s) = make(dim);
@@ -47,6 +51,7 @@ fn outstanding_buffers_bounded_by_lemma_2() {
 /// recycles the rest — the "dynamic memory management" claim.
 #[test]
 fn steady_state_recycles_rather_than_allocates() {
+    let _watchdog = Watchdog::arm("steady_state_recycles_rather_than_allocates", STRESS_LIMIT);
     let dim = 256;
     let (gauge, s) = make(dim);
     let grad = vec![0.01f32; dim];
@@ -65,6 +70,7 @@ fn steady_state_recycles_rather_than_allocates() {
 /// even with vectors still unreturned (the final published one).
 #[test]
 fn drop_reclaims_all_memory() {
+    let _watchdog = Watchdog::arm("drop_reclaims_all_memory", STRESS_LIMIT);
     let dim = 128;
     let gauge = Arc::new(MemoryGauge::new());
     {
@@ -90,6 +96,7 @@ fn drop_reclaims_all_memory() {
 /// alive; memory does not creep while it is held.
 #[test]
 fn long_lived_reader_pins_one_vector_only() {
+    let _watchdog = Watchdog::arm("long_lived_reader_pins_one_vector_only", STRESS_LIMIT);
     let dim = 64;
     let (_gauge, s) = make(dim);
     let grad = vec![0.01f32; dim];
@@ -109,6 +116,7 @@ fn long_lived_reader_pins_one_vector_only() {
 /// concurrent run (sanity for the Fig. 10 experiment).
 #[test]
 fn gauge_peak_dominates_every_live_sample() {
+    let _watchdog = Watchdog::arm("gauge_peak_dominates_every_live_sample", STRESS_LIMIT);
     let dim = 128;
     let (gauge, s) = make(dim);
     let s = Arc::new(s);

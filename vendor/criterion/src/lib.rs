@@ -1,0 +1,346 @@
+//! Offline shim for `criterion` (mirrors the 0.5 API subset this
+//! workspace's benches use).
+//!
+//! Provided: [`Criterion`], [`BenchmarkGroup`] with
+//! `warm_up_time`/`measurement_time`/`sample_size`/`throughput` tuning,
+//! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then
+//! collects `sample_size` samples within `measurement_time`; mean, min,
+//! and (when a [`Throughput`] is set) element/byte rates are printed.
+//! This is adequate for CI compile-gating (`cargo bench --no-run`) and
+//! coarse comparisons, not rigorous statistics — swap in the published
+//! crate for those.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark manager: entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards extra CLI words; treat the first
+        // non-flag word as a substring filter like the real crate does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) -> &mut Self {
+        let id = id.to_string();
+        if self.matches(&id) {
+            run_one(
+                &id,
+                Duration::from_millis(500),
+                Duration::from_secs(2),
+                10,
+                None,
+                f,
+            );
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| id.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many samples to collect inside the measurement window.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self._criterion.matches(&full) {
+            run_one(&full, self.warm_up, self.measurement, self.sample_size, self.throughput, f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing only; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration work declaration, used to print rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    /// Per-iteration seconds, one entry per sample.
+    samples: Vec<f64>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`: warm-up phase, then `sample_size`
+    /// samples of a calibrated batch each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate the per-call cost.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < self.warm_up || calls == 0 {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+
+        // Size batches so all samples fit in the measurement window.
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_call.max(1e-9)) as u64).clamp(1, u64::MAX);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_secs_f64() / batch as f64);
+        }
+    }
+
+    /// Times with a caller-measured routine: `f` receives an iteration
+    /// budget and returns the elapsed time for exactly that many
+    /// iterations (mirrors criterion's `iter_custom`).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // Calibrate with a single-iteration warm-up call.
+        let _ = black_box(f(1));
+        let probe = f(1);
+        let per_call = probe.as_secs_f64().max(1e-9);
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_call) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let elapsed = f(batch);
+            self.samples.push(elapsed.as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        warm_up,
+        measurement,
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {id:<40} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.3} Melem/s", n as f64 / mean / 1e6),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.3} MiB/s", n as f64 / mean / (1 << 20) as f64),
+        None => String::new(),
+    };
+    println!(
+        "  {id:<40} mean {:>12} min {:>12}{rate}",
+        fmt_time(mean),
+        fmt_time(min)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            sample_size: 4,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 4);
+        assert!(b.samples.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn group_chain_configures_and_runs() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("shim_smoke");
+            g.warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(4))
+                .sample_size(2);
+            g.throughput(Throughput::Elements(8));
+            g.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &n| {
+                b.iter(|| n * 2);
+                ran += 1;
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            b.iter(|| 1);
+            ran = true;
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline shim for `crossbeam` (mirrors the 0.8 API subset this
+//! workspace uses: [`queue::SegQueue`]).
+
+#![warn(missing_docs)]
+
+pub mod queue;

@@ -1,0 +1,120 @@
+//! Concurrent queues.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Unbounded MPMC FIFO queue with `crossbeam::queue::SegQueue`'s API.
+///
+/// The published crate's implementation is lock-free (segmented linked
+/// list); this shim is a mutex-guarded `VecDeque`, which preserves the
+/// FIFO semantics and thread-safety of every operation but not the
+/// lock-freedom. In this workspace the queue only backs the buffer-pool
+/// free-list, so consistency results are unaffected; restoring true
+/// lock-freedom is a ROADMAP item.
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub const fn new() -> Self {
+        SegQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes `value` onto the back of the queue.
+    pub fn push(&self, value: T) {
+        self.lock().push_back(value);
+    }
+
+    /// Pops from the front of the queue, `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+impl<T> std::fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegQueue").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SegQueue;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_elements() {
+        let q = Arc::new(SegQueue::new());
+        let total: u64 = std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        q.push(t * 1_000 + i);
+                    }
+                });
+            }
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                handles.push(s.spawn(move || {
+                    let mut sum = 0u64;
+                    let mut misses = 0;
+                    while misses < 1_000 {
+                        match q.pop() {
+                            Some(v) => {
+                                sum += v;
+                                misses = 0;
+                            }
+                            None => {
+                                misses += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    sum
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let drained: u64 = std::iter::from_fn(|| q.pop()).sum();
+        let expected: u64 = (0..4_000u64).sum();
+        assert_eq!(total + drained, expected);
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline shim for `parking_lot` (mirrors the 0.12 API subset this
+//! workspace uses: [`Mutex`] / [`MutexGuard`]).
+//!
+//! Backed by `std::sync::Mutex` with parking_lot semantics at the API
+//! level: `lock()` returns the guard directly (no `Result`), and poisoning
+//! is ignored — a panic while holding the lock does not poison it for
+//! later users, matching parking_lot's behaviour.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion primitive with parking_lot's non-poisoning API.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex wrapping `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn contended_increments_are_serialised() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4_000);
+    }
+
+    #[test]
+    fn panic_does_not_poison() {
+        let m = Arc::new(Mutex::new(1));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1, "lock usable after a panicking holder");
+    }
+}

@@ -1,0 +1,56 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_bounds() {
+        let mut rng = TestRng::new(7);
+        let s = vec(-10.0f32..10.0, 1..64);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((1..64).contains(&v.len()));
+            assert!(v.iter().all(|x| (-10.0..10.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed_when_range_starts_at_zero() {
+        let mut rng = TestRng::new(8);
+        let s = vec(0u64..4, 0..3);
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            if s.generate(&mut rng).is_empty() {
+                saw_empty = true;
+            }
+        }
+        assert!(saw_empty);
+    }
+}

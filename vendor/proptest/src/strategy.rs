@@ -1,0 +1,227 @@
+//! Value-generation strategies.
+//!
+//! Unlike published proptest, a strategy here generates a plain value
+//! directly (no value trees / shrinking), which is all the [`crate::proptest!`]
+//! runner consumes.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derived strategy applying `f` to each generated value.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Free-function form of [`Strategy::generate`], used by the macro so the
+/// trait does not need to be imported at every call site.
+pub fn generate<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+    strategy.generate(rng)
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}", self.start, self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}", self.start, self.end
+                );
+                let unit = rng.next_unit_f64();
+                (self.start as f64 + (self.end as f64 - self.start as f64) * unit) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Always generates a clone of the held value (`Just` in proptest).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (see [`crate::prelude::any`]).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning several magnitudes — the useful
+        // subset for numeric property tests (published proptest also
+        // defaults to finite values unless configured otherwise).
+        let magnitude = 10f64.powf(rng.next_unit_f64() * 12.0 - 6.0);
+        let sign = if rng.next_u64() & 1 == 1 { 1.0 } else { -1.0 };
+        sign * magnitude * rng.next_unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy for [`Arbitrary`] types, created by [`crate::prelude::any`].
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..2_000 {
+            let v = (-8i32..8).generate(&mut rng);
+            assert!((-8..8).contains(&v));
+            let u = (0u64..1000).generate(&mut rng);
+            assert!(u < 1000);
+            let s = (1usize..2).generate(&mut rng);
+            assert_eq!(s, 1);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..2_000 {
+            let v = (-2.0f32..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&v));
+            let w = (-1e6f64..1e6).generate(&mut rng);
+            assert!((-1e6..1e6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[(0usize..5).generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::new(4);
+        let (m, n, k) = (1usize..12, 1usize..12, 1usize..24).generate(&mut rng);
+        assert!((1..12).contains(&m) && (1..12).contains(&n) && (1..24).contains(&k));
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::new(5);
+        let doubled = (1u32..10).prop_map(|v| v * 2).generate(&mut rng);
+        assert!(doubled % 2 == 0 && (2..20).contains(&doubled));
+    }
+
+    #[test]
+    fn arbitrary_bool_takes_both_values() {
+        let mut rng = TestRng::new(6);
+        let vals: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+}

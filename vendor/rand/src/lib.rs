@@ -1,0 +1,197 @@
+//! Offline shim for the `rand` crate (mirrors the 0.9 API surface this
+//! workspace uses).
+//!
+//! Provided subset:
+//!
+//! * [`RngCore`] — `next_u32` / `next_u64` / `fill_bytes`, implemented for
+//!   `&mut R` so generic `R: Rng + ?Sized` call sites work as with the
+//!   published crate.
+//! * [`Rng`] — blanket-implemented extension trait with [`Rng::random`]
+//!   and [`Rng::random_range`].
+//! * [`SeedableRng`] — `from_seed` / `seed_from_u64` (SplitMix64 seed
+//!   expansion, matching the published crate's approach).
+//! * [`rngs::StdRng`] — deterministic xoshiro256\*\* generator. The
+//!   published `StdRng` is ChaCha12-based and explicitly documents that
+//!   its stream may change between versions; this shim keeps the same
+//!   contract (seeded determinism, no cross-version stream stability).
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+mod distr;
+
+pub use distr::StandardUniform;
+
+/// Low-level source of randomness: the object-safe core trait.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing extension trait, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard-uniform distribution
+    /// (`[0, 1)` for floats, full range for integers, fair coin for bool).
+    #[inline]
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: distr::Distribution<T>,
+        Self: Sized,
+    {
+        distr::Distribution::sample(&StandardUniform, self)
+    }
+
+    /// Uniform sample in `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T: distr::UniformSampled>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed type, a fixed-size byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_f64_is_unit_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn random_works_through_generic_and_reborrow() {
+        fn through<R: Rng>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut r = StdRng::seed_from_u64(5);
+        let v = through(&mut r);
+        assert!((0.0..1.0).contains(&v));
+        // &mut R is itself an RngCore, so trait objects still get entropy.
+        let dyn_rng: &mut dyn RngCore = &mut r;
+        assert_ne!(dyn_rng.next_u64(), dyn_rng.next_u64());
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = r.random_range(-5i32..7);
+            assert!((-5..7).contains(&v));
+            let u = r.random_range(10usize..11);
+            assert_eq!(u, 10);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion bench: contended MPMC queue throughput — the in-tree
+//! lock-free `lsgd_sync::SegQueue` vs. the mutex-backed queue it
+//! replaced as the buffer-pool free list.
+//!
+//! Workload: `t` threads each perform `iters` push+pop pairs on one
+//! shared queue (the free-list access pattern: release pushes an
+//! address, the next acquire pops one). Timing starts at a barrier after
+//! all threads are spawned, so thread-start cost is excluded. The
+//! printed rate is element operations per second across all threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsgd_sync::{MutexSegQueue, SegQueue};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Runs `iters` push+pop pairs on each of `threads` threads against one
+/// shared queue; returns wall time from the start barrier to last join.
+fn contended_round<Q: Send + Sync + 'static>(
+    queue: Arc<Q>,
+    threads: usize,
+    iters: u64,
+    op: fn(&Q, u64),
+) -> Duration {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let queue = Arc::clone(&queue);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..iters {
+                    op(&queue, (t as u64) << 32 | i);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().unwrap();
+    }
+    t0.elapsed()
+}
+
+fn push_pop_lock_free(q: &SegQueue<u64>, v: u64) {
+    q.push(v);
+    std::hint::black_box(q.pop());
+}
+
+fn push_pop_mutex(q: &MutexSegQueue<u64>, v: u64) {
+    q.push(v);
+    std::hint::black_box(q.pop());
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_throughput");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(5);
+
+    for threads in [1usize, 2, 4, 8] {
+        // 2 queue ops (one push, one pop) per pair, per thread.
+        group.throughput(Throughput::Elements(2 * threads as u64));
+        group.bench_with_input(
+            BenchmarkId::new("lock_free", threads),
+            &threads,
+            |b, &t| {
+                b.iter_custom(|iters| {
+                    contended_round(Arc::new(SegQueue::new()), t, iters, push_pop_lock_free)
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("mutex", threads), &threads, |b, &t| {
+            b.iter_custom(|iters| {
+                contended_round(Arc::new(MutexSegQueue::new()), t, iters, push_pop_mutex)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -39,7 +39,7 @@
 //!   publishing CAS is `AcqRel`; readers load `P` with `Acquire`.
 
 use crate::pool::BufferPool;
-use crossbeam::queue::SegQueue;
+use lsgd_sync::SegQueue;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicU32, Ordering};
 
 /// One ParameterVector instance: metadata header + owned `theta` buffer
@@ -213,6 +213,12 @@ pub struct LeashedShared {
     p: AtomicPtr<ParamVec>,
     pool: BufferPool,
     /// Every header ever allocated, freed on drop (never during the run).
+    ///
+    /// Ordering audit (PR 2): this queue is an arena *registry*, not a
+    /// publication channel — header contents reach other threads through
+    /// the `AcqRel` CAS on `p`, never through this queue, so nothing
+    /// here relies on the queue's push→pop release/acquire edge. Drop
+    /// drains it under `&mut self`, after every worker has joined.
     headers: SegQueue<usize>,
     dim: usize,
 }

@@ -6,6 +6,16 @@
 //! lock-free free list and are handed back out to subsequent allocations,
 //! so steady-state execution performs no heap allocation at all.
 //!
+//! The free list is `lsgd_sync::SegQueue` — CAS-only push/pop — so the
+//! recycle fast path (`acquire` hitting the free list, `release` in
+//! recycling mode) takes no lock; with PR 2 the end-to-end hot path is
+//! genuinely lock-free, as the paper claims. Cross-thread buffer reuse
+//! is data-race-free because the queue guarantees that a `push(addr)`
+//! happens-before the `pop()` returning `addr` (release/acquire on the
+//! slot state; see `lsgd_sync::queue`'s memory-ordering contract), so
+//! the previous owner's last writes to the buffer are visible before
+//! the next owner's first writes.
+//!
 //! Buffers are fixed-dimension `d` `f32` arrays, passed around as raw
 //! pointers because ownership moves through the lock-free ParameterVector
 //! protocol rather than through Rust scopes. The pool itself retains
@@ -19,7 +29,7 @@
 //! a naive implementation of Algorithm 3's `new ParamVector()`.
 
 use crate::mem::MemoryGauge;
-use crossbeam::queue::SegQueue;
+use lsgd_sync::SegQueue;
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -80,6 +90,10 @@ impl BufferPool {
     /// unspecified; callers always fully overwrite.
     pub fn acquire(&self) -> *mut f32 {
         let ptr = if let Some(addr) = self.free.pop() {
+            // Ordering: the releasing thread's writes to *addr are
+            // visible here via the queue's push→pop release/acquire
+            // edge; no extra fence is needed before handing the buffer
+            // to a new owner.
             self.gauge.note_reuse();
             addr as *mut f32
         } else {
@@ -89,6 +103,11 @@ impl BufferPool {
             self.registry.lock().insert(ptr as usize);
             ptr
         };
+        // Ordering audit (PR 2): `outstanding`/`outstanding_peak` are
+        // Relaxed on purpose — they are diagnostic tallies that publish
+        // nothing; cross-thread exactness is only asserted after a
+        // `thread::scope` join, which is itself a synchronisation point.
+        // Buffer handoff correctness never reads them.
         let out = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
         let mut peak = self.outstanding_peak.load(Ordering::Relaxed);
         while out > peak {
@@ -115,6 +134,11 @@ impl BufferPool {
         debug_assert!(!ptr.is_null());
         self.outstanding.fetch_sub(1, Ordering::Relaxed);
         if self.recycle {
+            // The queue's push is a release operation on the slot that
+            // carries `ptr`, so this thread's final writes to the buffer
+            // happen-before the next `acquire` that pops it (see the
+            // module docs). The Relaxed counter above rides along: it
+            // orders nothing and needs to order nothing.
             self.free.push(ptr as usize);
         } else {
             let removed = self.registry.lock().remove(&(ptr as usize));

@@ -1,0 +1,82 @@
+//! Exponential backoff for contended atomic retry loops.
+
+use std::hint;
+use std::thread;
+
+/// Bounded exponential backoff: spin-hint for the first few retries,
+/// then interleave `yield_now` so an oversubscribed box (more runnable
+/// threads than cores) lets the thread we are waiting on actually run.
+///
+/// The two phases matter for different failure shapes: `spin()` after a
+/// lost CAS keeps the cache line hot when the winner is on another core,
+/// while `snooze()` while waiting on *another thread's pending step*
+/// (e.g. a claimed-but-unwritten slot) must eventually yield, or a
+/// single-core scheduler could starve the very thread being waited on.
+pub struct Backoff {
+    step: u32,
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// Fresh backoff at the shortest delay.
+    #[inline]
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Backs off after losing a race another thread *won* (progress was
+    /// made system-wide): spin only, growing exponentially.
+    #[inline]
+    pub fn spin(&mut self) {
+        for _ in 0..1u32 << self.step.min(SPIN_LIMIT) {
+            hint::spin_loop();
+        }
+        if self.step <= SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Backs off while waiting for another thread to *complete a started
+    /// step*: spins briefly, then yields the timeslice so the awaited
+    /// thread can be scheduled.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if self.step <= YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_steps_are_bounded() {
+        let mut b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        assert!(b.step <= SPIN_LIMIT + 1);
+        let mut b = Backoff::new();
+        for _ in 0..100 {
+            b.snooze();
+        }
+        assert!(b.step <= YIELD_LIMIT + 1);
+    }
+}

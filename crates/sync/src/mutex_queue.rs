@@ -1,0 +1,81 @@
+//! The mutex-backed queue the workspace used before `queue::SegQueue`
+//! existed, kept for two jobs: the **baseline** in the contended-queue
+//! benchmark (`queue_throughput`), and the **oracle** in differential
+//! tests (same FIFO semantics, trivially correct implementation).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Unbounded MPMC FIFO queue: a `Mutex<VecDeque>` with the same API as
+/// [`crate::SegQueue`]. Thread-safe and FIFO, but every operation takes
+/// the lock — this is exactly the hot-path synchronisation the lock-free
+/// queue removes.
+pub struct MutexSegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> MutexSegQueue<T> {
+    /// Creates an empty queue.
+    pub const fn new() -> Self {
+        MutexSegQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes `value` onto the back of the queue.
+    pub fn push(&self, value: T) {
+        self.lock().push_back(value);
+    }
+
+    /// Pops from the front of the queue, `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Default for MutexSegQueue<T> {
+    fn default() -> Self {
+        MutexSegQueue::new()
+    }
+}
+
+impl<T> std::fmt::Debug for MutexSegQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutexSegQueue")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MutexSegQueue;
+
+    #[test]
+    fn fifo_order() {
+        let q = MutexSegQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -5,4 +5,5 @@ pub use lsgd_data as data;
 pub use lsgd_dynamics as dynamics;
 pub use lsgd_metrics as metrics;
 pub use lsgd_nn as nn;
+pub use lsgd_sync as sync;
 pub use lsgd_tensor as tensor;

@@ -44,3 +44,24 @@ impl Drop for Watchdog {
 /// Default per-test ceiling: every stress test finishes in well under a
 /// second even on a 2-core CI box, so a minute means "hung".
 pub const STRESS_LIMIT: Duration = Duration::from_secs(60);
+
+/// Thread count for the contention stress tests.
+///
+/// Defaults to the available parallelism; CI's high-contention job sets
+/// `LSGD_STRESS_THREADS` to an *oversubscribed* count (≥ 2× cores) so
+/// threads get preempted mid-protocol — the schedule shape that shakes
+/// out livelocks and missing-progress bugs that a politely scheduled run
+/// never hits.
+#[allow(dead_code)] // each test binary compiles its own copy of common/
+pub fn stress_threads() -> usize {
+    std::env::var("LSGD_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4)
+        })
+}

@@ -137,6 +137,36 @@ proptest! {
         }
     }
 
+    /// The pool never hands the same pointer to two live acquirers, for
+    /// arbitrary acquire/release schedules (recycling on and off): a
+    /// freed buffer may be re-issued, a held one must not be.
+    #[test]
+    fn pool_never_aliases_live_buffers(
+        ops in proptest::collection::vec(any::<bool>(), 1..250),
+        recycle in any::<bool>(),
+    ) {
+        let pool = BufferPool::new_with_recycling(4, Arc::new(MemoryGauge::new()), recycle);
+        let mut held: Vec<*mut f32> = Vec::new();
+        let mut live = std::collections::HashSet::new();
+        for acquire in ops {
+            if acquire || held.is_empty() {
+                let ptr = pool.acquire();
+                prop_assert!(
+                    live.insert(ptr as usize),
+                    "pool aliased a live buffer: {:?}", ptr
+                );
+                held.push(ptr);
+            } else {
+                let ptr = held.pop().unwrap();
+                live.remove(&(ptr as usize));
+                unsafe { pool.release(ptr) };
+            }
+        }
+        for ptr in held.drain(..) {
+            unsafe { pool.release(ptr) };
+        }
+    }
+
     /// Pool acquire/release round-trips keep the outstanding counter
     /// exact for arbitrary schedules.
     #[test]

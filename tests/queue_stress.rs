@@ -1,0 +1,256 @@
+//! Concurrency stress tests for the in-tree lock-free queue
+//! (`lsgd_sync::SegQueue`) — the free-list under the buffer pool.
+//!
+//! Every test runs under the abort-on-hang watchdog, so a livelock in
+//! the CAS loops fails the suite promptly instead of wedging CI. Thread
+//! counts scale with `LSGD_STRESS_THREADS` (the CI high-contention job
+//! sets it to ≥ 2× cores to force mid-protocol preemption).
+//!
+//! Properties exercised, per the queue's contract:
+//! * **conservation** — every pushed token is popped exactly once
+//!   (no loss, no duplication, no invention);
+//! * **per-producer FIFO** — any single consumer observes each
+//!   producer's tokens in push order (MPMC linearisability gives no
+//!   global order, but per-producer order must survive);
+//! * **no double-pop across consumers** — checked via an exactly-once
+//!   bitmap over all consumers' pops;
+//! * **pointer uniqueness** under the `BufferPool` — the pool never
+//!   hands one buffer to two concurrently live acquirers.
+
+mod common;
+
+use common::{stress_threads, Watchdog, STRESS_LIMIT};
+use leashed_sgd::core::mem::MemoryGauge;
+use leashed_sgd::core::pool::BufferPool;
+use leashed_sgd::sync::SegQueue;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tokens are (producer id, per-producer sequence) packed into a u64.
+fn token(producer: u64, seq: u64) -> u64 {
+    (producer << 40) | seq
+}
+
+fn untoken(t: u64) -> (u64, u64) {
+    (t >> 40, t & ((1 << 40) - 1))
+}
+
+/// N producers × M consumers; asserts exact element conservation and
+/// per-producer FIFO order as seen by each consumer.
+#[test]
+fn mpmc_conserves_tokens_exactly_once() {
+    let _watchdog = Watchdog::arm("mpmc_conserves_tokens_exactly_once", STRESS_LIMIT);
+    let threads = stress_threads();
+    let producers = (threads / 2).max(2) as u64;
+    let consumers = (threads / 2).max(2);
+    let per_producer: u64 = 20_000;
+    let total = producers * per_producer;
+
+    let q = Arc::new(SegQueue::new());
+    let popped_count = Arc::new(AtomicU64::new(0));
+
+    let consumer_logs: Vec<Vec<u64>> = std::thread::scope(|s| {
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                for seq in 0..per_producer {
+                    q.push(token(p, seq));
+                }
+            });
+        }
+        let handles: Vec<_> = (0..consumers)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let popped_count = Arc::clone(&popped_count);
+                s.spawn(move || {
+                    let mut log = Vec::new();
+                    // Per-producer FIFO: the sequence numbers this
+                    // consumer sees from any one producer must be
+                    // strictly increasing.
+                    let mut last_seen = vec![None::<u64>; producers as usize];
+                    while popped_count.load(Ordering::Relaxed) < total {
+                        match q.pop() {
+                            Some(t) => {
+                                popped_count.fetch_add(1, Ordering::Relaxed);
+                                let (p, seq) = untoken(t);
+                                if let Some(prev) = last_seen[p as usize] {
+                                    assert!(
+                                        seq > prev,
+                                        "per-producer FIFO violated: producer {p} \
+                                         gave seq {seq} after {prev}"
+                                    );
+                                }
+                                last_seen[p as usize] = Some(seq);
+                                log.push(t);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly-once conservation across all consumers.
+    let mut seen = vec![false; total as usize];
+    for log in &consumer_logs {
+        for &t in log {
+            let (p, seq) = untoken(t);
+            assert!(p < producers && seq < per_producer, "invented token {t:#x}");
+            let idx = (p * per_producer + seq) as usize;
+            assert!(!seen[idx], "token ({p}, {seq}) popped twice");
+            seen[idx] = true;
+        }
+    }
+    let popped: usize = consumer_logs.iter().map(Vec::len).sum();
+    assert_eq!(popped as u64, total, "lost tokens");
+    assert!(seen.iter().all(|&s| s), "bitmap disagrees with count");
+    assert!(q.is_empty());
+}
+
+/// Mixed-role churn at an oversubscribed thread count: every thread both
+/// pushes and pops in bursts that repeatedly drain the queue to empty,
+/// forcing constant segment allocation/teardown at the boundaries.
+#[test]
+fn oversubscribed_churn_conserves_sum() {
+    let _watchdog = Watchdog::arm("oversubscribed_churn_conserves_sum", STRESS_LIMIT);
+    let threads = (2 * stress_threads()).max(8) as u64;
+    let rounds = 200u64;
+    // Burst > one segment (31 slots) so every round crosses boundaries.
+    let burst = 100u64;
+
+    let q = Arc::new(SegQueue::new());
+    let (pushed_sum, popped_sum): (u64, u64) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let mut pushed = 0u64;
+                    let mut popped = 0u64;
+                    for r in 0..rounds {
+                        for i in 0..burst {
+                            let v = t * rounds * burst + r * burst + i;
+                            q.push(v);
+                            pushed += v;
+                        }
+                        // Pop slightly more than pushed so the queue
+                        // keeps returning to (near-)empty under load.
+                        for _ in 0..burst + 2 {
+                            if let Some(v) = q.pop() {
+                                popped += v;
+                            }
+                        }
+                    }
+                    (pushed, popped)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0, 0), |(a, b), (p, c)| (a + p, b + c))
+    });
+    let leftover: u64 = std::iter::from_fn(|| q.pop()).sum();
+    assert_eq!(
+        popped_sum + leftover,
+        pushed_sum,
+        "value conservation violated under churn"
+    );
+    assert!(q.is_empty());
+}
+
+/// The buffer pool must never hand the same pointer to two *live*
+/// acquirers — the concurrent counterpart of the single-thread proptest.
+/// A shared registry of live addresses is checked on every acquire.
+#[test]
+fn pool_never_double_hands_a_live_buffer() {
+    let _watchdog = Watchdog::arm("pool_never_double_hands_a_live_buffer", STRESS_LIMIT);
+    let threads = stress_threads().max(4);
+    let pool = Arc::new(BufferPool::new(64, Arc::new(MemoryGauge::new())));
+    let live: Arc<Mutex<HashSet<usize>>> = Arc::new(Mutex::new(HashSet::new()));
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = Arc::clone(&pool);
+            let live = Arc::clone(&live);
+            s.spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..3_000usize {
+                    let ptr = pool.acquire();
+                    {
+                        let mut set = live.lock().unwrap();
+                        assert!(
+                            set.insert(ptr as usize),
+                            "pool handed live buffer {ptr:?} out twice"
+                        );
+                    }
+                    held.push(ptr);
+                    // Vary hold depth so free-list pressure oscillates.
+                    if held.len() > 1 + (i + t) % 4 {
+                        let ptr = held.remove(0);
+                        live.lock().unwrap().remove(&(ptr as usize));
+                        unsafe { pool.release(ptr) };
+                    }
+                }
+                for ptr in held {
+                    live.lock().unwrap().remove(&(ptr as usize));
+                    unsafe { pool.release(ptr) };
+                }
+            });
+        }
+    });
+    assert_eq!(pool.outstanding(), 0);
+    assert!(live.lock().unwrap().is_empty());
+}
+
+/// Producers keep pushing while consumers race `pop` against transient
+/// emptiness: `pop` must never block, and every `None` must be
+/// legitimate (the queue really could have been empty). Terminates by
+/// conservation, which a spurious-None-plus-lost-token bug would break.
+#[test]
+fn pop_on_transiently_empty_queue_stays_responsive() {
+    let _watchdog = Watchdog::arm("pop_on_transiently_empty_queue_stays_responsive", STRESS_LIMIT);
+    let q = Arc::new(SegQueue::new());
+    let items = 50_000u64;
+    let consumed = std::thread::scope(|s| {
+        let producer = {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                for i in 0..items {
+                    q.push(i);
+                    if i % 64 == 0 {
+                        // Let the consumer drain so it keeps hitting the
+                        // empty-queue fast path.
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let mut got = 0u64;
+                let mut expected_next = 0u64;
+                while got < items {
+                    match q.pop() {
+                        Some(v) => {
+                            // Single consumer: global FIFO must hold.
+                            assert_eq!(v, expected_next, "FIFO broken past empty transitions");
+                            expected_next += 1;
+                            got += 1;
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+                got
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap()
+    });
+    assert_eq!(consumed, items);
+    assert!(q.is_empty());
+}

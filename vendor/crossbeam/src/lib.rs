@@ -1,5 +1,9 @@
 //! Offline shim for `crossbeam` (mirrors the 0.8 API subset this
 //! workspace uses: [`queue::SegQueue`]).
+//!
+//! Since the in-tree lock-free queue landed, [`queue::SegQueue`] is a
+//! re-export of [`lsgd_sync::SegQueue`] — lock-free like the published
+//! crate, not the original mutex-backed stand-in.
 
 #![warn(missing_docs)]
 

@@ -1,64 +1,15 @@
 //! Concurrent queues.
+//!
+//! `SegQueue` here is no longer the mutex-backed stand-in this shim
+//! shipped with: it re-exports the in-tree lock-free implementation from
+//! [`lsgd_sync`], which matches the published crate's algorithm (a
+//! segmented Michael–Scott list with CAS-only push/pop and per-slot
+//! reclamation — see `lsgd_sync::queue` for the full argument). The
+//! original mutex-backed queue survives as
+//! `lsgd_sync::MutexSegQueue`, used as a benchmark baseline and test
+//! oracle.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
-
-/// Unbounded MPMC FIFO queue with `crossbeam::queue::SegQueue`'s API.
-///
-/// The published crate's implementation is lock-free (segmented linked
-/// list); this shim is a mutex-guarded `VecDeque`, which preserves the
-/// FIFO semantics and thread-safety of every operation but not the
-/// lock-freedom. In this workspace the queue only backs the buffer-pool
-/// free-list, so consistency results are unaffected; restoring true
-/// lock-freedom is a ROADMAP item.
-pub struct SegQueue<T> {
-    inner: Mutex<VecDeque<T>>,
-}
-
-impl<T> SegQueue<T> {
-    /// Creates an empty queue.
-    pub const fn new() -> Self {
-        SegQueue {
-            inner: Mutex::new(VecDeque::new()),
-        }
-    }
-
-    /// Pushes `value` onto the back of the queue.
-    pub fn push(&self, value: T) {
-        self.lock().push_back(value);
-    }
-
-    /// Pops from the front of the queue, `None` if empty.
-    pub fn pop(&self) -> Option<T> {
-        self.lock().pop_front()
-    }
-
-    /// Number of elements currently queued.
-    pub fn len(&self) -> usize {
-        self.lock().len()
-    }
-
-    /// Whether the queue is currently empty.
-    pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
-    }
-}
-
-impl<T> Default for SegQueue<T> {
-    fn default() -> Self {
-        SegQueue::new()
-    }
-}
-
-impl<T> std::fmt::Debug for SegQueue<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SegQueue").field("len", &self.len()).finish()
-    }
-}
+pub use lsgd_sync::SegQueue;
 
 #[cfg(test)]
 mod tests {

@@ -1,8 +1,21 @@
 //! Criterion bench: GEMM throughput on the shapes the paper's workloads
 //! exercise (MLP layer products and CNN im2col products).
+//!
+//! Three rows per shape:
+//!
+//! * `packed/*`   — the packed micro-kernel path ([`lsgd_tensor::gemm::gemm`]),
+//! * `naive/*`    — the retained pre-packing kernel
+//!   ([`lsgd_tensor::gemm::gemm_naive`]), kept as the regression baseline,
+//! * `parallel/*` — [`lsgd_tensor::gemm::gemm_parallel`] over the global
+//!   worker pool (equals `packed` when the host or `LSGD_GEMM_THREADS`
+//!   gives the pool a single thread, or for sub-threshold products).
+//!
+//! Set `LSGD_BENCH_SMOKE=1` to shrink warm-up/measurement windows — used
+//! by the CI smoke step so throughput regressions show up in logs without
+//! a full measurement run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lsgd_tensor::gemm::{gemm, Transpose};
+use lsgd_tensor::gemm::{gemm, gemm_naive, gemm_parallel, Transpose};
 use lsgd_tensor::{Matrix, SmallRng64};
 use std::hint::black_box;
 use std::time::Duration;
@@ -12,12 +25,22 @@ fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| rng.next_f32() - 0.5)
 }
 
+type Kernel = fn(f32, &Matrix, Transpose, &Matrix, Transpose, f32, &mut Matrix);
+
 fn bench_gemm(c: &mut Criterion) {
+    let smoke = std::env::var("LSGD_BENCH_SMOKE").is_ok();
     let mut group = c.benchmark_group("gemm");
-    group
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(10);
+    if smoke {
+        group
+            .warm_up_time(Duration::from_millis(100))
+            .measurement_time(Duration::from_millis(400))
+            .sample_size(10);
+    } else {
+        group
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2))
+            .sample_size(10);
+    }
 
     // (name, m, k, n): the forward products of the paper's networks at
     // batch 512 plus the CNN's per-sample im2col products.
@@ -28,24 +51,78 @@ fn bench_gemm(c: &mut Criterion) {
         ("cnn_im2col_4x9x676", 4, 9, 676),
         ("cnn_im2col_8x36x121", 8, 36, 121),
     ];
+    let kernels: [(&str, Kernel); 3] = [
+        ("packed", gemm),
+        ("naive", gemm_naive),
+        ("parallel", gemm_parallel),
+    ];
     for (name, m, k, n) in shapes {
         let a = rand_mat(m, k, 1);
         let b = rand_mat(k, n, 2);
         let mut out = Matrix::zeros(m, n);
         group.throughput(Throughput::Elements((2 * m * k * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |bench, _| {
-            bench.iter(|| {
-                gemm(
-                    1.0,
-                    black_box(&a),
-                    Transpose::No,
-                    black_box(&b),
-                    Transpose::No,
-                    0.0,
-                    &mut out,
-                );
+        for (kind, kernel) in kernels {
+            group.bench_with_input(BenchmarkId::new(kind, name), &(), |bench, _| {
+                bench.iter(|| {
+                    kernel(
+                        1.0,
+                        black_box(&a),
+                        Transpose::No,
+                        black_box(&b),
+                        Transpose::No,
+                        0.0,
+                        &mut out,
+                    );
+                });
             });
-        });
+        }
+    }
+
+    // The transposed orientations backpropagation actually issues on the
+    // big MLP product (dW = dYᵀ·X is `tn`, the forward X·Wᵀ is `nt`);
+    // these used to hit scalar fallbacks and now ride the packed path.
+    let (m, k, n) = (512, 784, 128);
+    let a_t = rand_mat(k, m, 3); // stored k×m, used as Aᵀ
+    let b_nt = rand_mat(n, k, 4); // stored n×k, used as Bᵀ
+    let a_n = rand_mat(m, k, 5);
+    let b_n = rand_mat(k, n, 6);
+    let mut out = Matrix::zeros(m, n);
+    group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+    for (kind, kernel) in [("packed", gemm as Kernel), ("naive", gemm_naive as Kernel)] {
+        group.bench_with_input(
+            BenchmarkId::new(kind, "mlp_l1_tn_512x784x128"),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    kernel(
+                        1.0,
+                        black_box(&a_t),
+                        Transpose::Yes,
+                        black_box(&b_n),
+                        Transpose::No,
+                        0.0,
+                        &mut out,
+                    );
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(kind, "mlp_l1_nt_512x784x128"),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    kernel(
+                        1.0,
+                        black_box(&a_n),
+                        Transpose::No,
+                        black_box(&b_nt),
+                        Transpose::Yes,
+                        0.0,
+                        &mut out,
+                    );
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -201,6 +201,11 @@ impl Layer for Conv2d {
             let dy = grad_out.row(s); // (filters, ohw) flattened
 
             // dW += dY (filters, ohw) · cols (ohw, patch)
+            // Per-sample products with `filters` output rows: below
+            // gemm's small-m cutoff (the paper CNN's 4-filter conv) they
+            // stay on the streaming naive path, where such shapes are
+            // fastest; at or above it (the 8-filter conv) the packed
+            // kernel takes over at parity or better.
             gemm_slices(
                 1.0,
                 dy,

@@ -99,6 +99,9 @@ impl Layer for Dense {
         let (dw, db) = self.split_mut(grad_params);
 
         // dW = dYᵀ · X   (out,batch) x (batch,in) -> (out,in)
+        // `tn` rides the packed kernel via A-panel packing — no
+        // transposed copy of dY is materialised and no scalar fallback
+        // runs (this product dominated Tc before the packed kernel).
         gemm_slices(
             1.0,
             grad_out.as_slice(),

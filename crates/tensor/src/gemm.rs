@@ -1,26 +1,58 @@
-//! Blocked general matrix multiplication.
+//! Packed, register-blocked general matrix multiplication.
 //!
 //! `gemm` computes `C = alpha * op(A) * op(B) + beta * C` where `op` is
 //! identity or transpose, covering the four orientations backpropagation
 //! needs (`X·Wᵀ`, `dYᵀ·X`, `dY·W`, …) without materialising transposed
 //! copies.
 //!
-//! Two entry points are provided:
+//! Entry points:
 //!
 //! * [`gemm`] over [`Matrix`] operands, and
 //! * [`gemm_slices`] over raw `&[f32]` row-major buffers with explicit
 //!   shapes — used by the neural-network layers, whose weight matrices are
 //!   *sub-slices of the flat ParameterVector* (the paper's central data
-//!   structure) and must be multiplied in place without copies.
+//!   structure) and must be multiplied in place without copies;
+//! * [`gemm_parallel`] / [`gemm_slices_parallel`] — the same contract,
+//!   with the M (or, for wide outputs, N) panel loop split across the
+//!   in-tree worker pool in [`crate::threadpool`]. Small products fall
+//!   back to the serial path so the paper's tiny CNN im2col GEMMs never
+//!   pay dispatch overhead;
+//! * [`gemm_naive`] / [`gemm_naive_slices`] — the previous blocked-loop
+//!   kernel, retained as the differential-testing oracle and the
+//!   benchmark baseline.
 //!
-//! The kernel is a cache-blocked triple loop in `ikj` order with the inner
-//! loop over contiguous `C`/`B` rows so the compiler auto-vectorises it.
-//! For the shapes in the Leashed-SGD experiments (minibatch 512, layer
-//! widths 128–784) this is within a small factor of a tuned BLAS and —
-//! more importantly for the paper's measurements — has the same *relative*
-//! cost profile between the MLP GEMMs and the CNN's many small GEMMs.
+//! # Kernel design (BLIS-style packed panels)
+//!
+//! The fast path is a three-level cache-blocked loop nest in the style of
+//! Goto/BLIS (`jc → pc → ic` over `NC × KC × MC` blocks):
+//!
+//! 1. [`crate::pack::pack_b`] copies one `KC × NC` block of `op(B)` into a
+//!    contiguous buffer of `NR`-column micro-panels (zero-padded at ragged
+//!    edges);
+//! 2. [`crate::pack::pack_a`] copies one `MC × KC` block of `op(A)` into
+//!    `MR`-row micro-panels;
+//! 3. the macro-kernel sweeps `MR × NR` tiles of `C`, each computed by a
+//!    register-blocked micro-kernel that keeps the whole accumulator tile
+//!    in registers for the full `KC` reduction — `C` traffic per tile is
+//!    one read-modify-write instead of one per `k` step, and the `MR`/`NR`
+//!    loads are contiguous by construction, so the compiler auto-vectorises
+//!    the fused loop without explicit intrinsics. (An optional
+//!    `std::arch` SSE2 micro-kernel sits behind the `simd-intrinsics`
+//!    feature for builds that want guaranteed vector code.)
+//!
+//! Because packing resolves the orientation up front, all four `(ta, tb)`
+//! combinations — including `Aᵀ·B` and `Aᵀ·Bᵀ`, which previously ran
+//! scalar fallbacks — funnel through this same micro-kernel; a transpose
+//! costs one strided *pack* (amortised over panel reuse) rather than a
+//! strided inner loop.
+//!
+//! Packing scratch lives in thread-local buffers sized to the block
+//! limits, so steady-state calls do not allocate.
 
 use crate::matrix::Matrix;
+use crate::pack::{pack_a, pack_b};
+use crate::threadpool::{self, ThreadPool};
+use std::cell::RefCell;
 
 /// Whether an operand participates as itself or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,11 +70,29 @@ impl Transpose {
     }
 }
 
-/// Blocking factor over the reduction (k) dimension, sized so that a block
-/// of B rows stays in L1 alongside the C accumulator rows.
-const KC: usize = 256;
-/// Blocking factor over the M dimension.
-const MC: usize = 64;
+/// Micro-kernel tile rows: the register block holds `MR × NR` accumulators.
+pub const MR: usize = 6;
+/// Micro-kernel tile columns (kept a multiple of the 4-lane SSE width).
+pub const NR: usize = 8;
+/// Cache block over the reduction (k) dimension: one `MR × KC` A
+/// micro-panel plus one `KC × NR` B micro-panel stay L1-resident.
+pub const KC: usize = 256;
+/// Cache block over the M dimension: the packed `MC × KC` A panel targets
+/// L2. A multiple of `MR` so interior blocks carry no zero-padded rows.
+pub const MC: usize = 72;
+/// Cache block over the N dimension: the packed `KC × NC` B panel targets L2/L3.
+pub const NC: usize = 256;
+
+/// The serial jc-loop and the parallel N-split must place block starts at
+/// the same positions modulo the AVX2 pair width (2·NR) or panel pairing
+/// — and FMA rounding — would differ between them.
+const _: () = assert!(NC % (2 * NR) == 0, "NC must be a multiple of 2*NR");
+const _: () = assert!(MC % MR == 0, "MC must be a multiple of MR");
+
+/// Minimum `2·m·n·k` flop count before [`gemm_slices_parallel`] fans out;
+/// below this the dispatch overhead exceeds the win (the paper's CNN
+/// im2col products sit well under it).
+const PAR_MIN_FLOPS: usize = 1 << 21;
 
 /// `C = alpha * op(A) * op(B) + beta * C` over raw row-major slices.
 ///
@@ -64,34 +114,59 @@ pub fn gemm_slices(
     c: &mut [f32],
     c_shape: (usize, usize),
 ) {
-    assert_eq!(a.len(), a_shape.0 * a_shape.1, "gemm: A buffer length");
-    assert_eq!(b.len(), b_shape.0 * b_shape.1, "gemm: B buffer length");
-    assert_eq!(c.len(), c_shape.0 * c_shape.1, "gemm: C buffer length");
-    let (m, k) = if ta.is_t() {
-        (a_shape.1, a_shape.0)
-    } else {
-        a_shape
-    };
-    let (kb, n) = if tb.is_t() {
-        (b_shape.1, b_shape.0)
-    } else {
-        b_shape
-    };
-    assert_eq!(k, kb, "gemm: inner dimensions disagree ({k} vs {kb})");
-    assert_eq!(c_shape, (m, n), "gemm: C shape");
-
-    if beta != 1.0 {
-        if beta == 0.0 {
-            c.iter_mut().for_each(|v| *v = 0.0);
-        } else {
-            c.iter_mut().for_each(|v| *v *= beta);
-        }
-    }
+    let (m, n, k) = validate(a, a_shape, ta, b, b_shape, tb, c, c_shape);
+    scale_c(beta, c);
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
+    if smallm_prefers_naive(m, tb) {
+        return naive_dispatch(alpha, a, b, c, ta, tb, m, n, k);
+    }
+    // SAFETY: `c` is the unique mutable borrow of the full `m × n` output
+    // and this call covers the whole rectangle serially.
+    unsafe {
+        packed_gemm_rect(
+            alpha,
+            a,
+            a_shape.1,
+            ta.is_t(),
+            b,
+            b_shape.1,
+            tb.is_t(),
+            CPtr(c.as_mut_ptr()),
+            n,
+            (0, m),
+            (0, n),
+            k,
+        );
+    }
+}
 
-    // Dispatch on orientation; each variant keeps its inner loop contiguous.
+/// With only a handful of output rows and an untransposed `B`, the
+/// packed kernel cannot amortise its `B`-panel copy (each packed element
+/// is used `⌈m/MR⌉ ≈ 1` time) and pads `A` up to a full `MR` micro-panel,
+/// while the naive `ikj`/rank-1 loops stream `B` straight from memory at
+/// full vector width. The paper's per-sample CNN im2col products
+/// (`4 × 9 × 676`) sit squarely in this regime.
+#[inline]
+fn smallm_prefers_naive(m: usize, tb: Transpose) -> bool {
+    !tb.is_t() && m < 8
+}
+
+/// Orientation dispatch into the retained naive kernels (post-validation,
+/// post-`beta`).
+#[allow(clippy::too_many_arguments)]
+fn naive_dispatch(
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
     match (ta.is_t(), tb.is_t()) {
         (false, false) => gemm_nn(alpha, a, b, c, m, n, k),
         (false, true) => gemm_nt(alpha, a, b, c, m, n, k),
@@ -137,6 +212,518 @@ pub fn matmul(a: &Matrix, ta: Transpose, b: &Matrix, tb: Transpose) -> Matrix {
     let mut c = Matrix::zeros(m, n);
     gemm(1.0, a, ta, b, tb, 0.0, &mut c);
     c
+}
+
+// ---------------------------------------------------------------------------
+// Parallel entry points
+// ---------------------------------------------------------------------------
+
+/// [`gemm_slices`] with the panel loop split across the global worker pool.
+///
+/// Falls back to the serial kernel when the pool has a single thread or
+/// the product is too small to amortise dispatch (see `PAR_MIN_FLOPS`).
+/// Results are bitwise identical to the serial kernel: threads partition
+/// `C` disjointly and each partition runs the same blocked loop.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slices_parallel(
+    alpha: f32,
+    a: &[f32],
+    a_shape: (usize, usize),
+    ta: Transpose,
+    b: &[f32],
+    b_shape: (usize, usize),
+    tb: Transpose,
+    beta: f32,
+    c: &mut [f32],
+    c_shape: (usize, usize),
+) {
+    gemm_slices_parallel_in(
+        threadpool::global(),
+        alpha,
+        a,
+        a_shape,
+        ta,
+        b,
+        b_shape,
+        tb,
+        beta,
+        c,
+        c_shape,
+    );
+}
+
+/// [`gemm_slices_parallel`] against an explicit [`ThreadPool`] (used by the
+/// differential tests to exercise the parallel path regardless of the
+/// host's core count).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slices_parallel_in(
+    pool: &ThreadPool,
+    alpha: f32,
+    a: &[f32],
+    a_shape: (usize, usize),
+    ta: Transpose,
+    b: &[f32],
+    b_shape: (usize, usize),
+    tb: Transpose,
+    beta: f32,
+    c: &mut [f32],
+    c_shape: (usize, usize),
+) {
+    let (m, n, k) = validate(a, a_shape, ta, b, b_shape, tb, c, c_shape);
+    scale_c(beta, c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if smallm_prefers_naive(m, tb) {
+        // Same fast path as the serial entry point: keeps parallel and
+        // serial results bitwise identical for every shape.
+        return naive_dispatch(alpha, a, b, c, ta, tb, m, n, k);
+    }
+    let threads = pool.threads();
+    if threads <= 1 || 2 * m * n * k < PAR_MIN_FLOPS {
+        // SAFETY: unique borrow of C, whole rectangle, serial.
+        unsafe {
+            packed_gemm_rect(
+                alpha,
+                a,
+                a_shape.1,
+                ta.is_t(),
+                b,
+                b_shape.1,
+                tb.is_t(),
+                CPtr(c.as_mut_ptr()),
+                n,
+                (0, m),
+                (0, n),
+                k,
+            );
+        }
+        return;
+    }
+
+    // Partition C into disjoint rectangles: by M-panels when there are
+    // enough rows to feed every thread a micro-panel multiple, otherwise
+    // (short-and-wide outputs) by N-panels.
+    let (split_rows, chunk, ntasks) = if m >= threads * MR {
+        let chunk = m.div_ceil(threads).next_multiple_of(MR);
+        (true, chunk, m.div_ceil(chunk))
+    } else if n >= threads * NR {
+        // Column chunks are aligned to the *paired* panel width (2·NR),
+        // not NR: the AVX2 macro-kernel consumes B panels in pairs
+        // starting from each block's first panel, so only 2·NR-aligned
+        // block starts keep the pair grouping — and therefore the FMA
+        // rounding of every element — identical to the serial kernel's
+        // NC-aligned blocks (NC is a multiple of 2·NR by const assert).
+        let chunk = n.div_ceil(threads).next_multiple_of(2 * NR);
+        (false, chunk, n.div_ceil(chunk))
+    } else {
+        (true, m, 1)
+    };
+    let cp = CPtr(c.as_mut_ptr());
+    let (a_cols, b_cols) = (a_shape.1, b_shape.1);
+    let (ta, tb) = (ta.is_t(), tb.is_t());
+    pool.parallel_for(ntasks, &|t| {
+        let (rows, cols) = if split_rows {
+            ((t * chunk, ((t + 1) * chunk).min(m)), (0, n))
+        } else {
+            ((0, m), (t * chunk, ((t + 1) * chunk).min(n)))
+        };
+        // SAFETY: tasks cover pairwise-disjoint rectangles of C (distinct
+        // `t` ⇒ distinct row or column ranges), and `parallel_for` joins
+        // every task before returning, so the `&mut c` borrow outlives
+        // all writes through `cp`.
+        unsafe {
+            packed_gemm_rect(alpha, a, a_cols, ta, b, b_cols, tb, cp, n, rows, cols, k);
+        }
+    });
+}
+
+/// [`gemm`] with the panel loop split across the global worker pool.
+pub fn gemm_parallel(
+    alpha: f32,
+    a: &Matrix,
+    ta: Transpose,
+    b: &Matrix,
+    tb: Transpose,
+    beta: f32,
+    c: &mut Matrix,
+) {
+    let a_shape = (a.rows(), a.cols());
+    let b_shape = (b.rows(), b.cols());
+    let c_shape = (c.rows(), c.cols());
+    gemm_slices_parallel(
+        alpha,
+        a.as_slice(),
+        a_shape,
+        ta,
+        b.as_slice(),
+        b_shape,
+        tb,
+        beta,
+        c.as_mut_slice(),
+        c_shape,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shared plumbing
+// ---------------------------------------------------------------------------
+
+/// Checks buffer lengths and operand shapes; returns the logical `(m, n, k)`.
+#[allow(clippy::too_many_arguments)]
+fn validate(
+    a: &[f32],
+    a_shape: (usize, usize),
+    ta: Transpose,
+    b: &[f32],
+    b_shape: (usize, usize),
+    tb: Transpose,
+    c: &[f32],
+    c_shape: (usize, usize),
+) -> (usize, usize, usize) {
+    assert_eq!(a.len(), a_shape.0 * a_shape.1, "gemm: A buffer length");
+    assert_eq!(b.len(), b_shape.0 * b_shape.1, "gemm: B buffer length");
+    assert_eq!(c.len(), c_shape.0 * c_shape.1, "gemm: C buffer length");
+    let (m, k) = if ta.is_t() {
+        (a_shape.1, a_shape.0)
+    } else {
+        a_shape
+    };
+    let (kb, n) = if tb.is_t() {
+        (b_shape.1, b_shape.0)
+    } else {
+        b_shape
+    };
+    assert_eq!(k, kb, "gemm: inner dimensions disagree ({k} vs {kb})");
+    assert_eq!(c_shape, (m, n), "gemm: C shape");
+    (m, n, k)
+}
+
+/// Applies the `beta * C` term. `beta == 0` overwrites (so pre-existing
+/// NaN/Inf in `C` cannot propagate), `beta == 1` is a no-op.
+fn scale_c(beta: f32, c: &mut [f32]) {
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.iter_mut().for_each(|v| *v = 0.0);
+        } else {
+            c.iter_mut().for_each(|v| *v *= beta);
+        }
+    }
+}
+
+/// Raw pointer to `C` that may cross a thread boundary.
+///
+/// Each parallel task owns a disjoint rectangle of `C`; sending the base
+/// pointer (rather than overlapping `&mut` slices) keeps the aliasing
+/// model honest. All dereferences happen in [`packed_gemm_rect`] under
+/// its documented disjointness contract.
+#[derive(Clone, Copy)]
+struct CPtr(*mut f32);
+unsafe impl Send for CPtr {}
+unsafe impl Sync for CPtr {}
+
+thread_local! {
+    /// Per-thread packing scratch (`A` panel, `B` panel), grown on demand
+    /// and reused across calls so steady-state GEMMs never allocate.
+    static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Serial packed kernel over the rectangle `rows × cols` of `C`.
+///
+/// # Safety
+/// `cp` must point to a live `.. × c_cols` row-major buffer covering the
+/// rectangle, and no other thread may read or write that rectangle for
+/// the duration of the call.
+#[allow(clippy::too_many_arguments)]
+unsafe fn packed_gemm_rect(
+    alpha: f32,
+    a: &[f32],
+    a_cols: usize,
+    ta: bool,
+    b: &[f32],
+    b_cols: usize,
+    tb: bool,
+    cp: CPtr,
+    c_cols: usize,
+    rows: (usize, usize),
+    cols: (usize, usize),
+    k: usize,
+) {
+    let (i_lo, i_hi) = rows;
+    let (j_lo, j_hi) = cols;
+    if i_lo >= i_hi || j_lo >= j_hi {
+        return;
+    }
+    PACK_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let (ref mut abuf, ref mut bbuf) = *scratch;
+        let kc_max = KC.min(k);
+        let mc_max = MC.min(i_hi - i_lo).div_ceil(MR) * MR;
+        let nc_max = NC.min(j_hi - j_lo).div_ceil(NR) * NR;
+        abuf.resize(mc_max * kc_max, 0.0);
+        bbuf.resize(nc_max * kc_max, 0.0);
+
+        for jc in (j_lo..j_hi).step_by(NC) {
+            let nc = NC.min(j_hi - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b(bbuf, b, b_cols, tb, pc, jc, kc, nc);
+                for ic in (i_lo..i_hi).step_by(MC) {
+                    let mc = MC.min(i_hi - ic);
+                    pack_a(abuf, a, a_cols, ta, ic, pc, mc, kc);
+                    macro_kernel(alpha, abuf, bbuf, mc, nc, kc, cp, c_cols, ic, jc);
+                }
+            }
+        }
+    });
+}
+
+/// Sweeps `MR × NR` tiles of one `mc × nc` block of `C`, invoking the
+/// micro-kernel on packed panels and clipping zero-padded edges on
+/// write-back.
+///
+/// Safety: see [`packed_gemm_rect`] — `cp` covers the block exclusively.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    alpha: f32,
+    packed_a: &[f32],
+    packed_b: &[f32],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    cp: CPtr,
+    c_cols: usize,
+    i0: usize,
+    j0: usize,
+) {
+    let npanels = nc.div_ceil(NR);
+    let wide = cpu_has_avx2_fma();
+    let mut jp = 0;
+    while jp < npanels {
+        // When the host has AVX2+FMA, consume B micro-panels in pairs so
+        // the tile is MR × 2·NR across 256-bit registers; the pairing
+        // changes only which register an element lands in, never its
+        // per-k accumulation order, so results stay identical across
+        // kernels up to the FMA contraction.
+        let pair = wide && jp + 2 <= npanels;
+        let width = if pair { 2 * NR } else { NR };
+        let cols = width.min(nc - jp * NR);
+        for ip in 0..mc.div_ceil(MR) {
+            let pa = &packed_a[ip * MR * kc..(ip + 1) * MR * kc];
+            let rows = MR.min(mc - ip * MR);
+            let (ci, cj) = (i0 + ip * MR, j0 + jp * NR);
+            if pair {
+                let pb0 = &packed_b[jp * NR * kc..(jp + 1) * NR * kc];
+                let pb1 = &packed_b[(jp + 1) * NR * kc..(jp + 2) * NR * kc];
+                let mut acc = [[0.0f32; 2 * NR]; MR];
+                // SAFETY: `cpu_has_avx2_fma()` verified the features.
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    microkernel_avx2(kc, pa, pb0, pb1, &mut acc)
+                };
+                write_tile(alpha, &acc[..rows], cp, c_cols, ci, cj, cols);
+            } else {
+                let pb = &packed_b[jp * NR * kc..(jp + 1) * NR * kc];
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel(kc, pa, pb, &mut acc);
+                write_tile(alpha, &acc[..rows], cp, c_cols, ci, cj, cols);
+            }
+        }
+        jp += if pair { 2 } else { 1 };
+    }
+}
+
+/// `C[ci..ci+rows][cj..cj+cols] += alpha * acc`, clipping the tile's
+/// zero-padded edge columns.
+///
+/// Safety of the raw write: the rows/columns addressed lie inside the
+/// rectangle this thread exclusively owns (contract of
+/// [`packed_gemm_rect`]).
+#[inline(always)]
+fn write_tile<const W: usize>(
+    alpha: f32,
+    acc: &[[f32; W]],
+    cp: CPtr,
+    c_cols: usize,
+    ci: usize,
+    cj: usize,
+    cols: usize,
+) {
+    for (r, arow) in acc.iter().enumerate() {
+        // SAFETY: see function docs.
+        let crow =
+            unsafe { std::slice::from_raw_parts_mut(cp.0.add((ci + r) * c_cols + cj), cols) };
+        for (dst, &v) in crow.iter_mut().zip(arow.iter()) {
+            *dst += alpha * v;
+        }
+    }
+}
+
+/// Whether the host supports the 256-bit FMA micro-kernel (checked once).
+#[inline]
+fn cpu_has_avx2_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVX2_FMA: OnceLock<bool> = OnceLock::new();
+        *AVX2_FMA.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// 256-bit micro-kernel: an `MR × 2·NR` tile over a *pair* of packed B
+/// panels, one FMA per accumulator register per `k` step. Only reached
+/// after [`cpu_has_avx2_fma`] returns true.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_avx2(
+    kc: usize,
+    pa: &[f32],
+    pb0: &[f32],
+    pb1: &[f32],
+    acc: &mut [[f32; 2 * NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(NR, 8, "kernel assumes one __m256 per packed B panel row");
+    let mut vacc = [[_mm256_setzero_ps(); 2]; MR];
+    for k in 0..kc {
+        let b0 = _mm256_loadu_ps(pb0.as_ptr().add(k * NR));
+        let b1 = _mm256_loadu_ps(pb1.as_ptr().add(k * NR));
+        for (r, vrow) in vacc.iter_mut().enumerate() {
+            let a = _mm256_broadcast_ss(&*pa.as_ptr().add(k * MR + r));
+            vrow[0] = _mm256_fmadd_ps(a, b0, vrow[0]);
+            vrow[1] = _mm256_fmadd_ps(a, b1, vrow[1]);
+        }
+    }
+    for (r, vrow) in vacc.iter().enumerate() {
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), vrow[0]);
+        _mm256_storeu_ps(acc[r].as_mut_ptr().add(NR), vrow[1]);
+    }
+}
+
+/// Register-blocked `MR × NR` micro-kernel over packed panels.
+///
+/// `pa` holds `kc` steps of `MR` contiguous A values, `pb` holds `kc`
+/// steps of `NR` contiguous B values; the accumulator tile stays in
+/// registers for the whole reduction. The iterator shape (exact chunks,
+/// fixed-size inner loops) is what lets the compiler keep `acc` in vector
+/// registers and emit SIMD without intrinsics.
+#[inline(always)]
+fn microkernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    {
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        unsafe { microkernel_sse2(kc, pa, pb, acc) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    microkernel_portable(kc, pa, pb, acc);
+}
+
+/// Portable micro-kernel, written for auto-vectorisation.
+#[inline(always)]
+#[cfg_attr(all(feature = "simd-intrinsics", target_arch = "x86_64"), allow(dead_code))]
+fn microkernel_portable(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (ach, bch) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kc) {
+        let bvals: &[f32; NR] = bch.try_into().unwrap();
+        for (r, arow) in acc.iter_mut().enumerate() {
+            let ar = ach[r];
+            for (dst, &bv) in arow.iter_mut().zip(bvals.iter()) {
+                *dst += ar * bv;
+            }
+        }
+    }
+}
+
+/// Explicit SSE2 micro-kernel (`simd-intrinsics` feature): the same tile
+/// shape as the portable kernel, with the `NR`-wide rows held in `__m128`
+/// lanes so vectorisation does not depend on the optimiser.
+#[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+#[inline(always)]
+unsafe fn microkernel_sse2(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    const LANES: usize = NR / 4;
+    let mut vacc = [[_mm_setzero_ps(); LANES]; MR];
+    for (ach, bch) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kc) {
+        let mut bv = [_mm_setzero_ps(); LANES];
+        for (l, b) in bv.iter_mut().enumerate() {
+            *b = _mm_loadu_ps(bch.as_ptr().add(l * 4));
+        }
+        for (r, vrow) in vacc.iter_mut().enumerate() {
+            let ar = _mm_set1_ps(ach[r]);
+            for (v, &b) in vrow.iter_mut().zip(bv.iter()) {
+                *v = _mm_add_ps(*v, _mm_mul_ps(ar, b));
+            }
+        }
+    }
+    for (r, vrow) in vacc.iter().enumerate() {
+        for (l, &v) in vrow.iter().enumerate() {
+            _mm_storeu_ps(acc[r].as_mut_ptr().add(l * 4), v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retained baseline kernel (differential oracle + bench baseline)
+// ---------------------------------------------------------------------------
+
+/// The pre-packing blocked kernel over raw slices: cache-blocked `ikj`
+/// loops for the `No/No` orientation, dot/axpy loops for the transposed
+/// ones (scalar for `tt`). Kept verbatim as the differential-testing
+/// oracle and the `gemm` bench baseline; new code should call
+/// [`gemm_slices`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_naive_slices(
+    alpha: f32,
+    a: &[f32],
+    a_shape: (usize, usize),
+    ta: Transpose,
+    b: &[f32],
+    b_shape: (usize, usize),
+    tb: Transpose,
+    beta: f32,
+    c: &mut [f32],
+    c_shape: (usize, usize),
+) {
+    let (m, n, k) = validate(a, a_shape, ta, b, b_shape, tb, c, c_shape);
+    scale_c(beta, c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    naive_dispatch(alpha, a, b, c, ta, tb, m, n, k);
+}
+
+/// [`gemm_naive_slices`] over [`Matrix`] operands.
+pub fn gemm_naive(
+    alpha: f32,
+    a: &Matrix,
+    ta: Transpose,
+    b: &Matrix,
+    tb: Transpose,
+    beta: f32,
+    c: &mut Matrix,
+) {
+    let a_shape = (a.rows(), a.cols());
+    let b_shape = (b.rows(), b.cols());
+    let c_shape = (c.rows(), c.cols());
+    gemm_naive_slices(
+        alpha,
+        a.as_slice(),
+        a_shape,
+        ta,
+        b.as_slice(),
+        b_shape,
+        tb,
+        beta,
+        c.as_mut_slice(),
+        c_shape,
+    );
 }
 
 #[inline]
@@ -214,8 +801,13 @@ fn gemm_tt(alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, 
 }
 
 /// y += a * x over equal-length slices; shaped for auto-vectorisation.
+///
+/// Lengths must match: a mismatch here means an upstream shape bug, and
+/// silently truncating (as this once did) would turn it into quietly
+/// wrong gradients instead of a loud test failure.
 #[inline]
 fn axpy_inner(a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy_inner: slice lengths differ");
     let n = x.len().min(y.len());
     let (x, y) = (&x[..n], &mut y[..n]);
     for i in 0..n {
@@ -224,8 +816,11 @@ fn axpy_inner(a: f32, x: &[f32], y: &mut [f32]) {
 }
 
 /// Dot product over equal-length slices with 4-way unrolling for ILP.
+///
+/// Lengths must match — see [`axpy_inner`] on why truncation is a bug.
 #[inline]
 fn dot_inner(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len(), "dot_inner: slice lengths differ");
     let n = x.len().min(y.len());
     let (x, y) = (&x[..n], &y[..n]);
     let mut acc = [0.0f32; 4];
@@ -299,13 +894,15 @@ mod tests {
                 let b = rand_mat(br, bc, seed + 1);
                 let c0 = rand_mat(m, n, seed + 2);
                 let expected = gemm_ref(0.7, &a, ta, &b, tb, 0.3, &c0);
-                let mut c = c0.clone();
-                gemm(0.7, &a, ta, &b, tb, 0.3, &mut c);
-                let err = c.max_abs_diff(&expected);
-                assert!(
-                    err < 1e-3 * (k as f32).max(1.0),
-                    "orientation ({ta:?},{tb:?}) m={m} n={n} k={k}: err {err}"
-                );
+                for kernel in [gemm, gemm_naive, gemm_parallel] {
+                    let mut c = c0.clone();
+                    kernel(0.7, &a, ta, &b, tb, 0.3, &mut c);
+                    let err = c.max_abs_diff(&expected);
+                    assert!(
+                        err < 1e-3 * (k as f32).max(1.0),
+                        "orientation ({ta:?},{tb:?}) m={m} n={n} k={k}: err {err}"
+                    );
+                }
             }
         }
     }
@@ -329,6 +926,17 @@ mod tests {
     }
 
     #[test]
+    fn shapes_straddling_microtile_boundaries() {
+        for (m, n, k) in [
+            (MR - 1, NR + 1, 3),
+            (MR + 1, NR - 1, KC + 1),
+            (MC + MR - 1, NC + NR - 1, 7),
+        ] {
+            check_all_orientations(m, n, k, 77);
+        }
+    }
+
+    #[test]
     fn degenerate_dimensions() {
         // k = 0 leaves beta*C.
         let a = Matrix::zeros(2, 0);
@@ -345,6 +953,17 @@ mod tests {
         let mut c = Matrix::from_vec(3, 3, vec![2.0; 9]);
         gemm(0.0, &a, Transpose::No, &b, Transpose::No, 2.0, &mut c);
         assert!(c.as_slice().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_and_inf() {
+        let a = rand_mat(3, 4, 5);
+        let b = rand_mat(4, 2, 6);
+        let expected = matmul(&a, Transpose::No, &b, Transpose::No);
+        let mut c = Matrix::from_vec(3, 2, vec![f32::NAN, f32::INFINITY, -1.0, f32::NAN, 0.0, 9.0]);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+        assert!(c.as_slice().iter().all(|v| v.is_finite()));
+        assert!(c.max_abs_diff(&expected) < 1e-5);
     }
 
     #[test]
@@ -398,6 +1017,46 @@ mod tests {
             (5, 4),
         );
         assert_eq!(c1.as_slice(), &c2[..]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // Parallel partitioning must not change the reduction order, so
+        // results are bitwise equal, not merely close. The shape list
+        // covers both sub-threshold serial fallbacks AND products big
+        // enough to actually fan out (2·m·n·k ≥ 2²¹), in both split
+        // directions: (256, 256, 64) row-splits, (16, 160, 512) and
+        // (12, 2048, 50) have too few rows for 4 threads and N-split —
+        // the arm where AVX2 panel pairing must stay chunk-invariant.
+        let pool = ThreadPool::new(4);
+        for (m, n, k) in [
+            (70, 33, 129),
+            (257, 64, 40),
+            (3, 300, 80),
+            (256, 256, 64),
+            (16, 160, 512),
+            (12, 2048, 50),
+        ] {
+            let a = rand_mat(m, k, 91);
+            let b = rand_mat(k, n, 92);
+            let mut c1 = Matrix::zeros(m, n);
+            gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c1);
+            let mut c2 = Matrix::zeros(m, n);
+            gemm_slices_parallel_in(
+                &pool,
+                1.0,
+                a.as_slice(),
+                (m, k),
+                Transpose::No,
+                b.as_slice(),
+                (k, n),
+                Transpose::No,
+                0.0,
+                c2.as_mut_slice(),
+                (m, n),
+            );
+            assert_eq!(c1.as_slice(), c2.as_slice(), "m={m} n={n} k={k}");
+        }
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! Provided here:
 //!
 //! * [`Matrix`] — row-major `f32` matrix with cheap row views.
-//! * [`gemm`] — blocked matrix multiplication with transpose variants
-//!   (`C = alpha * op(A) * op(B) + beta * C`), the workhorse of both the
-//!   dense layers and the im2col convolution lowering.
+//! * [`gemm`] — packed, register-blocked matrix multiplication with
+//!   transpose variants (`C = alpha * op(A) * op(B) + beta * C`), the
+//!   workhorse of both the dense layers and the im2col convolution
+//!   lowering. [`pack`] holds the panel-packing routines; [`threadpool`]
+//!   the small worker pool behind `gemm::gemm_parallel`.
 //! * [`ops`] — BLAS-1 style vector kernels (`axpy`, `dot`, `scale`, …) used
 //!   by the SGD update rule itself.
 //! * [`rng`] — seeded random sources, including the Box–Muller normal
@@ -26,8 +28,10 @@ pub mod gemm;
 pub mod matrix;
 pub mod numeric;
 pub mod ops;
+pub mod pack;
 pub mod rng;
+pub mod threadpool;
 
-pub use gemm::{gemm, Transpose};
+pub use gemm::{gemm, gemm_naive, gemm_parallel, Transpose};
 pub use matrix::Matrix;
 pub use rng::SmallRng64;

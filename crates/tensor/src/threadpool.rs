@@ -1,0 +1,284 @@
+//! Minimal in-tree worker pool for data-parallel kernels.
+//!
+//! The registry is unreachable, so this crate cannot pull in `rayon`;
+//! what the packed GEMM needs is far smaller anyway: a fixed set of
+//! workers and a blocking [`ThreadPool::parallel_for`] that hands out
+//! task indices from a shared atomic counter (work-stealing degenerates
+//! to work-*sharing*, which is fine for a handful of equal-sized panel
+//! chunks). Workers sleep on a condvar between calls — an idle pool
+//! costs nothing, which matters because the SGD trainer already runs one
+//! worker thread per core and the GEMM pool must not fight it for cycles
+//! when unused.
+//!
+//! The calling thread participates in the loop (a pool of size `n` has
+//! `n - 1` spawned workers), so `ThreadPool::new(1)` is exactly the
+//! serial path with no threads and no synchronisation.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// One `parallel_for` invocation, shared between the caller and the
+/// workers that pick it up.
+struct ForJob {
+    /// The caller's closure with its borrow lifetime erased to `'static`.
+    /// Only dereferenced while the issuing `parallel_for` frame is
+    /// blocked waiting on [`ForJob::pending`], which keeps the real
+    /// (shorter-lived) borrow alive — see the transmute in
+    /// [`ThreadPool::parallel_for`].
+    f: &'static (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Total task count.
+    total: usize,
+    /// Tasks claimed-and-finished still outstanding; the job is complete
+    /// when this reaches zero.
+    pending: AtomicUsize,
+    /// Set when any task panicked; the caller re-raises after the join.
+    poisoned: AtomicBool,
+    /// Completion latch the caller sleeps on.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl ForJob {
+    /// Claims and runs task indices until none remain.
+    ///
+    /// Panics inside a task are caught (so a worker thread survives and
+    /// `pending` still reaches zero — otherwise the caller would block
+    /// on [`ForJob::done_cv`] forever) and recorded in
+    /// [`ForJob::poisoned`]; the issuing `parallel_for` re-raises them
+    /// after every task has stopped. Catching is also what upholds the
+    /// lifetime-erasure contract: no unwind can tear down the caller's
+    /// frame while other threads still hold `f`.
+    fn run(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.f)(i))).is_err() {
+                self.poisoned.store(true, Ordering::Release);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *self.done.lock().unwrap() = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct Shared {
+    /// Pending job announcements, one entry per worker per job.
+    jobs: Mutex<Vec<Arc<ForJob>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Fixed-size worker pool; see the module docs.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with total parallelism `threads` (the caller counts
+    /// as one, so `threads - 1` OS threads are spawned; `threads <= 1`
+    /// spawns none).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            jobs: Mutex::new(Vec::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = threads.saturating_sub(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lsgd-gemm-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn gemm worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Total parallelism of the pool (spawned workers + the caller).
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs `f(0), f(1), …, f(ntasks - 1)`, distributing indices across
+    /// the pool's workers and the calling thread, and returns once every
+    /// task has finished. Tasks must be safe to run concurrently.
+    ///
+    /// # Panics
+    /// If any task panics, the remaining tasks still run to completion
+    /// (never leaving a worker dead or the join hanging), and the panic
+    /// is re-raised on the calling thread afterwards.
+    pub fn parallel_for(&self, ntasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if ntasks == 0 {
+            return;
+        }
+        if self.handles.is_empty() || ntasks == 1 {
+            for i in 0..ntasks {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: lifetime erasure only. The `'static` reference never
+        // escapes this call: we block below until `pending == 0`, after
+        // which no worker dereferences `f` again (every further claim
+        // sees `next >= total` and returns without touching it).
+        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let job = Arc::new(ForJob {
+            f: f_static,
+            next: AtomicUsize::new(0),
+            total: ntasks,
+            pending: AtomicUsize::new(ntasks),
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut jobs = self.shared.jobs.lock().unwrap();
+            // One announcement per worker: late arrivals to a drained job
+            // see `next >= total` and return immediately.
+            for _ in 0..self.handles.len().min(ntasks - 1) {
+                jobs.push(Arc::clone(&job));
+            }
+        }
+        self.shared.available.notify_all();
+        job.run();
+        let mut done = job.done.lock().unwrap();
+        while !*done {
+            done = job.done_cv.wait(done).unwrap();
+        }
+        drop(done);
+        if job.poisoned.load(Ordering::Acquire) {
+            panic!("ThreadPool::parallel_for: a task panicked");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut jobs = shared.jobs.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = jobs.pop() {
+                    break job;
+                }
+                jobs = shared.available.wait(jobs).unwrap();
+            }
+        };
+        job.run();
+    }
+}
+
+/// The process-wide pool used by `gemm_parallel`.
+///
+/// Sized from `LSGD_GEMM_THREADS` when set, otherwise from
+/// [`std::thread::available_parallelism`] capped at 8 — GEMM panel
+/// parallelism stops scaling well before the core counts the SGD trainer
+/// itself is designed to occupy.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = std::env::var("LSGD_GEMM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get().min(8))
+                    .unwrap_or(1)
+            });
+        ThreadPool::new(threads)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(10, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn pool_survives_repeated_jobs() {
+        let pool = ThreadPool::new(3);
+        for round in 0..50 {
+            let count = AtomicU64::new(0);
+            pool.parallel_for(round % 7 + 1, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), (round % 7 + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(3);
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_for(16, &|i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(hit.is_err(), "task panic must reach the caller");
+        // Workers caught the unwind, so the pool keeps working.
+        let count = AtomicU64::new(0);
+        pool.parallel_for(8, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(4);
+        pool.parallel_for(8, &|_| {});
+        drop(pool); // must not hang or leak
+    }
+}

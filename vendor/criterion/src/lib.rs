@@ -7,11 +7,12 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros.
 //!
 //! Measurement model: each benchmark warms up for `warm_up_time`, then
-//! collects `sample_size` samples within `measurement_time`; mean, min,
-//! and (when a [`Throughput`] is set) element/byte rates are printed.
-//! This is adequate for CI compile-gating (`cargo bench --no-run`) and
-//! coarse comparisons, not rigorous statistics — swap in the published
-//! crate for those.
+//! collects `sample_size` samples within `measurement_time`; median,
+//! mean, stddev, min, and (when a [`Throughput`] is set) element/byte
+//! rates are printed. Rates are computed from the **median** sample so a
+//! single descheduled outlier cannot skew the `Melem/s` lines that BENCH
+//! trajectories track. Still not the published crate's bootstrap
+//! analysis — swap that in for rigorous confidence intervals.
 
 #![warn(missing_docs)]
 
@@ -238,18 +239,62 @@ fn run_one<F: FnMut(&mut Bencher)>(
         println!("  {id:<40} (no samples)");
         return;
     }
-    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
-    let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let stats = Stats::from_samples(&b.samples);
+    // Throughput from the median, not the mean: one descheduled sample
+    // inflates the mean arbitrarily but moves the median by at most one
+    // rank, so regression trajectories stay comparable across noisy runs.
     let rate = match throughput {
-        Some(Throughput::Elements(n)) => format!("  {:>12.3} Melem/s", n as f64 / mean / 1e6),
-        Some(Throughput::Bytes(n)) => format!("  {:>12.3} MiB/s", n as f64 / mean / (1 << 20) as f64),
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.3} Melem/s", n as f64 / stats.median / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.3} MiB/s", n as f64 / stats.median / (1 << 20) as f64)
+        }
         None => String::new(),
     };
     println!(
-        "  {id:<40} mean {:>12} min {:>12}{rate}",
-        fmt_time(mean),
-        fmt_time(min)
+        "  {id:<40} median {:>11} mean {:>11} stddev {:>11} min {:>11}{rate}",
+        fmt_time(stats.median),
+        fmt_time(stats.mean),
+        fmt_time(stats.stddev),
+        fmt_time(stats.min),
     );
+}
+
+/// Summary statistics over per-iteration sample times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stats {
+    median: f64,
+    mean: f64,
+    stddev: f64,
+    min: f64,
+}
+
+impl Stats {
+    fn from_samples(samples: &[f64]) -> Stats {
+        let n = samples.len();
+        assert!(n > 0, "Stats requires at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        // Sample (Bessel-corrected) standard deviation; 0 for n == 1.
+        let stddev = if n > 1 {
+            (sorted.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Stats {
+            median,
+            mean,
+            stddev,
+            min: sorted[0],
+        }
+    }
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -329,6 +374,28 @@ mod tests {
             g.finish();
         }
         assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn stats_median_resists_one_outlier() {
+        // Four fast samples and one 100x-slow outlier: the median (and
+        // therefore reported throughput) must stay at the fast value.
+        let s = Stats::from_samples(&[1.0, 1.1, 0.9, 1.0, 100.0]);
+        assert_eq!(s.median, 1.0);
+        assert_eq!(s.min, 0.9);
+        assert!(s.mean > 20.0, "mean should absorb the outlier, got {}", s.mean);
+        assert!(s.stddev > 40.0, "stddev should expose it, got {}", s.stddev);
+    }
+
+    #[test]
+    fn stats_even_count_and_singleton() {
+        let s = Stats::from_samples(&[4.0, 2.0, 3.0, 1.0]);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        let one = Stats::from_samples(&[7.0]);
+        assert_eq!(one.median, 7.0);
+        assert_eq!(one.stddev, 0.0);
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! Criterion bench: ParameterVector protocol operation latencies —
-//! counted reads (`latest_pointer`), monitor snapshots, and publishes
-//! with a concurrent contender.
+//! counted reads (`latest_pointer`), monitor snapshots, publishes with a
+//! concurrent contender, and the sharded publication path (dense full
+//! vector vs. k-sparse pairs at S ∈ {1, 8, 64}).
+//!
+//! The sharded rows quantify the tentpole claim: at the CNN dimension a
+//! k-sparse publication through S = 64 shards copies + CASes only the
+//! dirty shards (≈ k/width of them), while the unsharded/dense row pays
+//! the full O(d) copy per update.
+//!
+//! Set `LSGD_BENCH_SMOKE=1` to shrink warm-up/measurement windows — used
+//! by the CI smoke step so publication-cost regressions show up in logs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lsgd_core::mem::MemoryGauge;
 use lsgd_core::paramvec::LeashedShared;
 use lsgd_core::pool::BufferPool;
+use lsgd_core::shard::ShardedShared;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -17,11 +27,19 @@ fn shared(d: usize) -> LeashedShared {
 }
 
 fn bench_ops(c: &mut Criterion) {
+    let smoke = std::env::var("LSGD_BENCH_SMOKE").is_ok();
     let mut group = c.benchmark_group("paramvec_ops");
-    group
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(10);
+    if smoke {
+        group
+            .warm_up_time(Duration::from_millis(100))
+            .measurement_time(Duration::from_millis(400))
+            .sample_size(10);
+    } else {
+        group
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2))
+            .sample_size(10);
+    }
 
     for d in [27_354usize, 134_794] {
         let s = shared(d);
@@ -60,6 +78,71 @@ fn bench_ops(c: &mut Criterion) {
     });
     stop.store(true, Ordering::Relaxed);
     contender.join().unwrap();
+
+    // ---- Sharded publication: dense full-vector vs k-sparse pairs at
+    // S ∈ {1, 8, 64} (uncontended, so the numbers isolate per-update
+    // copy + CAS cost rather than retry behaviour). S = 1 dense is the
+    // full-vector-copy baseline the k-sparse rows are judged against. ----
+    let d = 134_794usize; // the CNN parameter dimension used above
+    let dense_grad = vec![0.001f32; d];
+    // Three k-sparse index shapes spanning the locality spectrum:
+    //
+    // * `powerlaw` — 64 distinct draws from a Zipf(1.1) over d, the
+    //   footprint of a small sparse-logreg minibatch (head tokens
+    //   dominate; a modest tail sprinkle dirties a few extra shards);
+    // * `block` — 1024 contiguous coordinates, the embedding-row /
+    //   feature-group update pattern (dirty shards ≈ k / width);
+    // * `spread` — 1024 evenly spaced coordinates, the adversarial case
+    //   (every shard dirty, no locality to exploit).
+    let powerlaw_pairs: Vec<(u32, f32)> = {
+        // Same Zipf distribution the sparse-logreg generator draws from.
+        let cdf = lsgd_data::sparse_logreg::zipf_cdf(d, lsgd_data::sparse_logreg::ZIPF_EXPONENT);
+        let mut rng = lsgd_tensor::SmallRng64::new(42);
+        let mut picked = std::collections::BTreeSet::new();
+        while picked.len() < 64 {
+            picked.insert(lsgd_data::sparse_logreg::zipf_draw(&cdf, &mut rng) as u32);
+        }
+        picked.into_iter().map(|i| (i, 0.001f32)).collect()
+    };
+    let block_pairs: Vec<(u32, f32)> = (0..1024).map(|i| (i as u32, 0.001f32)).collect();
+    let spread_pairs: Vec<(u32, f32)> = (0..1024)
+        .map(|i| ((i * d / 1024) as u32, 0.001f32))
+        .collect();
+    let sparse_rows = [
+        ("sharded_publish_sparse_powerlaw", &powerlaw_pairs),
+        ("sharded_publish_sparse_block", &block_pairs),
+        ("sharded_publish_sparse_spread", &spread_pairs),
+    ];
+    for s_count in [1usize, 8, 64] {
+        let sh = ShardedShared::new(
+            &vec![0.0f32; d],
+            s_count,
+            Arc::new(MemoryGauge::new()),
+            true,
+        );
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sharded_publish_dense", format!("S{s_count}_d{d}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    black_box(sh.publish_dense(black_box(&dense_grad), 0.005, None, None, |_| {}))
+                });
+            },
+        );
+        for (label, pairs) in sparse_rows {
+            group.throughput(Throughput::Elements(pairs.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("S{s_count}_k{}_d{d}", pairs.len())),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        black_box(sh.publish_sparse(black_box(pairs), 0.005, None, None, |_| {}))
+                    });
+                },
+            );
+        }
+    }
     group.finish();
 }
 

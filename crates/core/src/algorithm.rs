@@ -1,10 +1,13 @@
-//! The algorithm spectrum evaluated by the paper.
+//! The algorithm spectrum evaluated by the paper, plus the sharded
+//! Leashed-SGD extension.
 
+use crate::shard::SnapshotMode;
 use std::fmt;
 
-/// One of the parallel SGD algorithms from the paper's evaluation (§V):
+/// One of the parallel SGD algorithms from the paper's evaluation (§V) —
 /// sequential SGD, lock-based AsyncSGD, HOGWILD!, and Leashed-SGD with a
-/// configurable persistence bound.
+/// configurable persistence bound — or the sharded Leashed-SGD variant
+/// built on [`crate::shard`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Single-threaded SGD (`SEQ`).
@@ -19,10 +22,31 @@ pub enum Algorithm {
         /// Max failed CASes before an update is abandoned.
         persistence: Option<u32>,
     },
+    /// Sharded Leashed-SGD: the parameter vector split into `shards`
+    /// independent LAU-SPC publication domains; publications copy + CAS
+    /// only the dirty shards, reads use the selected cross-shard
+    /// [`SnapshotMode`]. With `shards = 1` this is behaviorally
+    /// equivalent to [`Algorithm::Leashed`].
+    ShardedLeashed {
+        /// Per-shard max failed CASes before that shard's update is
+        /// abandoned (`None` = unbounded).
+        persistence: Option<u32>,
+        /// Requested shard count `S` (clamped to `[1, d]`; overridable at
+        /// runtime via `LSGD_SHARDS`, see [`crate::shard::effective_shards`]).
+        shards: usize,
+        /// Cross-shard read consistency for worker gradient reads.
+        snapshot: SnapshotMode,
+    },
 }
 
 impl Algorithm {
     /// The paper's label for this algorithm (as used in the figures).
+    ///
+    /// Note: the sharded label carries the *configured* shard count —
+    /// `Algorithm` is pure configuration, so a runtime `LSGD_SHARDS`
+    /// override is not reflected here (harnesses that honour the
+    /// override should report `crate::shard::effective_shards` alongside,
+    /// as `examples/sparse_logreg.rs` does).
     pub fn label(&self) -> String {
         match self {
             Algorithm::Sequential => "SEQ".into(),
@@ -32,12 +56,31 @@ impl Algorithm {
             Algorithm::Leashed {
                 persistence: Some(tp),
             } => format!("LSH_ps{tp}"),
+            Algorithm::ShardedLeashed {
+                persistence,
+                shards,
+                snapshot,
+            } => {
+                let ps = match persistence {
+                    None => "ps_inf".into(),
+                    Some(tp) => format!("ps{tp}"),
+                };
+                format!("LSH_s{shards}_{ps}_{}", snapshot.label())
+            }
         }
     }
 
-    /// True for Leashed-SGD variants.
+    /// True for Leashed-SGD variants (sharded or not).
     pub fn is_leashed(&self) -> bool {
-        matches!(self, Algorithm::Leashed { .. })
+        matches!(
+            self,
+            Algorithm::Leashed { .. } | Algorithm::ShardedLeashed { .. }
+        )
+    }
+
+    /// True for the sharded Leashed-SGD variant.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, Algorithm::ShardedLeashed { .. })
     }
 
     /// The six algorithm configurations benchmarked in the paper's
@@ -103,5 +146,35 @@ mod tests {
     fn is_leashed_discriminates() {
         assert!(Algorithm::Leashed { persistence: None }.is_leashed());
         assert!(!Algorithm::Hogwild.is_leashed());
+        let sharded = Algorithm::ShardedLeashed {
+            persistence: Some(1),
+            shards: 8,
+            snapshot: SnapshotMode::Consistent,
+        };
+        assert!(sharded.is_leashed());
+        assert!(sharded.is_sharded());
+        assert!(!Algorithm::Leashed { persistence: None }.is_sharded());
+    }
+
+    #[test]
+    fn sharded_labels_encode_configuration() {
+        assert_eq!(
+            Algorithm::ShardedLeashed {
+                persistence: Some(1),
+                shards: 8,
+                snapshot: SnapshotMode::Consistent,
+            }
+            .label(),
+            "LSH_s8_ps1_cst"
+        );
+        assert_eq!(
+            Algorithm::ShardedLeashed {
+                persistence: None,
+                shards: 64,
+                snapshot: SnapshotMode::Fast,
+            }
+            .label(),
+            "LSH_s64_ps_inf_fast"
+        );
     }
 }

@@ -51,19 +51,22 @@ pub mod paramvec;
 pub mod pool;
 pub mod problem;
 pub mod result;
+pub mod shard;
 pub mod sparsify;
 pub mod trainer;
 
 pub use algorithm::Algorithm;
 pub use paramvec::{LeashedShared, PublishOutcome, ReadGuard};
-pub use problem::{NnProblem, Problem, RegressionProblem};
+pub use problem::{NnProblem, Problem, RegressionProblem, SparseLogRegProblem};
 pub use result::RunResult;
+pub use shard::{ShardedPublish, ShardedShared, ShardedSnapshot, SnapshotMode};
 pub use trainer::{train, EtaPolicy, TrainConfig};
 
 /// Convenient glob import for examples and harnesses.
 pub mod prelude {
     pub use crate::algorithm::Algorithm;
-    pub use crate::problem::{NnProblem, Problem, RegressionProblem};
+    pub use crate::problem::{NnProblem, Problem, RegressionProblem, SparseLogRegProblem};
     pub use crate::result::RunResult;
+    pub use crate::shard::SnapshotMode;
     pub use crate::trainer::{train, EtaPolicy, TrainConfig};
 }

@@ -312,9 +312,58 @@ impl LeashedShared {
         grad: &[f32],
         eta: f32,
         persistence: Option<u32>,
-        mut on_attempt: impl FnMut(f64),
+        on_attempt: impl FnMut(f64),
     ) -> PublishOutcome {
         assert_eq!(grad.len(), self.dim, "gradient length");
+        self.publish_with(
+            persistence,
+            |dst| lsgd_tensor::ops::sgd_step(dst, grad, eta),
+            on_attempt,
+        )
+    }
+
+    /// Sparse LAU-SPC publication: identical protocol to
+    /// [`publish_update`], but the update step applies only the given
+    /// `(index, value)` pairs (`theta[i - offset] -= eta * v`) instead of
+    /// a dense axpy, so the per-attempt cost is the O(d') base copy plus
+    /// O(k) for k pairs rather than O(d') + O(d'). `offset` lets a sharded
+    /// caller pass global coordinate indices for a shard that owns the
+    /// range `[offset, offset + dim)` without rewriting the pair list.
+    ///
+    /// # Panics
+    /// Panics (debug) if any `index - offset` falls outside `0..dim`.
+    pub fn publish_update_sparse(
+        &self,
+        pairs: &[(u32, f32)],
+        offset: u32,
+        eta: f32,
+        persistence: Option<u32>,
+        on_attempt: impl FnMut(f64),
+    ) -> PublishOutcome {
+        debug_assert!(pairs
+            .iter()
+            .all(|&(i, _)| (i >= offset) && ((i - offset) as usize) < self.dim));
+        self.publish_with(
+            persistence,
+            |dst| {
+                for &(i, v) in pairs {
+                    dst[(i - offset) as usize] -= eta * v;
+                }
+            },
+            on_attempt,
+        )
+    }
+
+    /// The shared LAU-SPC attempt loop: copy-latest, `apply` the update to
+    /// the private fresh buffer, single CAS, retry up to the persistence
+    /// bound. `apply` is re-invoked on every attempt (the base copy is
+    /// re-taken from the then-latest vector).
+    fn publish_with(
+        &self,
+        persistence: Option<u32>,
+        mut apply: impl FnMut(&mut [f32]),
+        mut on_attempt: impl FnMut(f64),
+    ) -> PublishOutcome {
         let new_ptr = self.alloc_header();
         // SAFETY: exclusive ownership until published.
         let new_pv = unsafe { &*new_ptr };
@@ -338,7 +387,7 @@ impl LeashedShared {
             new_pv.t.fetch_add(1, Ordering::SeqCst);
             {
                 let dst = unsafe { new_pv.theta_mut() };
-                lsgd_tensor::ops::sgd_step(dst, grad, eta);
+                apply(dst);
             }
             let succ = self
                 .p
@@ -436,6 +485,26 @@ mod tests {
         let g = s.latest();
         assert_eq!(g.seq(), 1);
         assert_eq!(g.theta(), &[0.5, 0.0, -0.5, -1.0]);
+    }
+
+    #[test]
+    fn sparse_publish_matches_dense_equivalent() {
+        let dense = shared(6, 1.0);
+        let sparse = shared(6, 1.0);
+        let grad = vec![0.0, 2.0, 0.0, 0.0, -4.0, 0.0];
+        dense.publish_update(&grad, 0.5, None, |_| {});
+        let out = sparse.publish_update_sparse(&[(1, 2.0), (4, -4.0)], 0, 0.5, None, |_| {});
+        assert!(matches!(out, PublishOutcome::Published { t_new: 1, .. }));
+        assert_eq!(dense.latest().theta(), sparse.latest().theta());
+        assert_eq!(sparse.latest().theta(), &[1.0, 0.0, 1.0, 1.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn sparse_publish_offset_rebases_indices() {
+        let s = shared(4, 0.0);
+        // Global indices 10..14 belong to a shard whose range starts at 10.
+        s.publish_update_sparse(&[(10, 1.0), (13, 2.0)], 10, 1.0, None, |_| {});
+        assert_eq!(s.latest().theta(), &[-1.0, 0.0, 0.0, -2.0]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! workload class HOGWILD! was originally built for.
 
 use lsgd_data::regression::RegressionData;
+use lsgd_data::sparse_logreg::SparseLogReg;
 use lsgd_data::Dataset;
 use lsgd_nn::Network;
 use lsgd_tensor::{Matrix, SmallRng64};
@@ -39,6 +40,22 @@ pub trait Problem: Send + Sync {
 
     /// Deterministic evaluation loss used for ε-convergence tracking.
     fn eval_loss(&self, theta: &[f32], scratch: &mut Self::Scratch) -> f64;
+
+    /// Sparse-gradient path: computes a stochastic minibatch gradient as
+    /// **ascending** `(index, value)` pairs written into `pairs` and
+    /// returns the minibatch loss, or `None` when the problem has no
+    /// native sparse representation (the default). The sharded trainer
+    /// prefers this path — pairs flow straight into the dirty-shard
+    /// publication without touching a dense buffer.
+    fn grad_sparse(
+        &self,
+        _theta: &[f32],
+        _pairs: &mut Vec<(u32, f32)>,
+        _scratch: &mut Self::Scratch,
+        _rng: &mut SmallRng64,
+    ) -> Option<f32> {
+        None
+    }
 }
 
 /// The paper's DL workloads: a [`Network`] trained on a [`Dataset`] with
@@ -203,11 +220,156 @@ impl Problem for RegressionProblem {
     }
 }
 
+/// High-dimensional sparse logistic regression over [`SparseLogReg`]
+/// minibatches — the workload exercising the sharded dirty-shard
+/// publication path. Implements both the dense [`Problem::grad`] (for
+/// SEQ/ASYNC/HOG) and the native sparse [`Problem::grad_sparse`] (for
+/// sharded Leashed-SGD): one minibatch touches only the union of its
+/// documents' token coordinates.
+pub struct SparseLogRegProblem {
+    data: SparseLogReg,
+    batch: usize,
+}
+
+/// Scratch for [`SparseLogRegProblem`]: a dense accumulator that is kept
+/// all-zero between calls (only the `touched` coordinates are dirtied and
+/// re-zeroed), so sparse minibatch gradients cost O(batch · nnz) rather
+/// than O(d).
+pub struct SparseLogRegScratch {
+    acc: Vec<f32>,
+    touched: Vec<u32>,
+}
+
+impl SparseLogRegProblem {
+    /// Wraps a sparse logistic-regression instance with the given
+    /// minibatch size.
+    pub fn new(data: SparseLogReg, batch: usize) -> Self {
+        assert!(batch > 0 && !data.is_empty());
+        SparseLogRegProblem { data, batch }
+    }
+
+    /// The wrapped data.
+    pub fn data(&self) -> &SparseLogReg {
+        &self.data
+    }
+
+    /// Classification accuracy of `theta` on the full dataset.
+    pub fn eval_accuracy(&self, theta: &[f32]) -> f32 {
+        self.data.accuracy(theta)
+    }
+
+    /// Accumulates one minibatch's logistic gradient into the scratch
+    /// accumulator (recording touched coordinates) and returns the mean
+    /// minibatch loss. `scratch.acc` must be all-zero on entry.
+    fn accumulate_batch(
+        &self,
+        theta: &[f32],
+        scratch: &mut SparseLogRegScratch,
+        rng: &mut SmallRng64,
+    ) -> f32 {
+        debug_assert!(scratch.touched.is_empty());
+        let inv = 1.0 / self.batch as f32;
+        let mut loss = 0.0f32;
+        for _ in 0..self.batch {
+            let i = rng.next_below(self.data.len());
+            let z = self.data.margin(i, theta);
+            let y = self.data.labels[i] as f32;
+            // Stable mean logistic loss: max(z,0) - z·y + ln(1+e^{-|z|}).
+            loss += (z.max(0.0) - z * y + (-z.abs()).exp().ln_1p()) * inv;
+            let e = (1.0 / (1.0 + (-z).exp()) - y) * inv; // (σ(z) - y)/B
+            let (idx, val) = self.data.row(i);
+            for (&j, &v) in idx.iter().zip(val) {
+                if scratch.acc[j as usize] == 0.0 {
+                    scratch.touched.push(j);
+                }
+                scratch.acc[j as usize] += e * v;
+            }
+        }
+        loss
+    }
+
+    /// Clears the touched accumulator coordinates (restoring the all-zero
+    /// invariant) without an O(d) sweep.
+    fn reset_scratch(scratch: &mut SparseLogRegScratch) {
+        for &j in &scratch.touched {
+            scratch.acc[j as usize] = 0.0;
+        }
+        scratch.touched.clear();
+    }
+}
+
+impl Problem for SparseLogRegProblem {
+    type Scratch = SparseLogRegScratch;
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn init_theta(&self, _seed: u64) -> Vec<f32> {
+        // The zero vector is the canonical logistic-regression start
+        // (loss exactly ln 2) and keeps differential runs comparable.
+        vec![0.0; self.data.dim()]
+    }
+
+    fn scratch(&self) -> SparseLogRegScratch {
+        SparseLogRegScratch {
+            acc: vec![0.0; self.data.dim()],
+            touched: Vec::new(),
+        }
+    }
+
+    fn grad(
+        &self,
+        theta: &[f32],
+        grad: &mut [f32],
+        scratch: &mut SparseLogRegScratch,
+        rng: &mut SmallRng64,
+    ) -> f32 {
+        let loss = self.accumulate_batch(theta, scratch, rng);
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for &j in &scratch.touched {
+            grad[j as usize] = scratch.acc[j as usize];
+        }
+        Self::reset_scratch(scratch);
+        loss
+    }
+
+    fn eval_loss(&self, theta: &[f32], _scratch: &mut SparseLogRegScratch) -> f64 {
+        self.data.logloss(theta)
+    }
+
+    fn grad_sparse(
+        &self,
+        theta: &[f32],
+        pairs: &mut Vec<(u32, f32)>,
+        scratch: &mut SparseLogRegScratch,
+        rng: &mut SmallRng64,
+    ) -> Option<f32> {
+        let loss = self.accumulate_batch(theta, scratch, rng);
+        scratch.touched.sort_unstable();
+        // A coordinate can enter `touched` twice if an exact cancellation
+        // zeroed it mid-batch and a later sample touched it again.
+        scratch.touched.dedup();
+        pairs.clear();
+        pairs.extend(
+            scratch
+                .touched
+                .iter()
+                .map(|&j| (j, scratch.acc[j as usize]))
+                // Exact cancellations carry no update mass.
+                .filter(|&(_, v)| v != 0.0),
+        );
+        Self::reset_scratch(scratch);
+        Some(loss)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lsgd_data::blobs::gaussian_blobs;
     use lsgd_data::regression::dense_regression;
+    use lsgd_data::sparse_logreg::sparse_logreg;
     use lsgd_nn::tiny_mlp;
 
     fn blob_problem() -> NnProblem {
@@ -273,6 +435,67 @@ mod tests {
         }
         let fin = p.eval_loss(&theta, &mut s);
         assert!(fin < initial * 0.05, "{initial} -> {fin}");
+    }
+
+    fn logreg_problem() -> SparseLogRegProblem {
+        SparseLogRegProblem::new(sparse_logreg(600, 512, 12, 9), 16)
+    }
+
+    #[test]
+    fn sparse_and_dense_gradients_agree() {
+        let p = logreg_problem();
+        let theta: Vec<f32> = (0..p.dim()).map(|i| ((i % 7) as f32 - 3.0) * 0.1).collect();
+        let mut dense = vec![0.0f32; p.dim()];
+        let mut pairs = Vec::new();
+        let mut s1 = p.scratch();
+        let mut s2 = p.scratch();
+        let l1 = p.grad(&theta, &mut dense, &mut s1, &mut SmallRng64::new(5));
+        let l2 = p
+            .grad_sparse(&theta, &mut pairs, &mut s2, &mut SmallRng64::new(5))
+            .expect("native sparse path");
+        assert_eq!(l1, l2, "same RNG stream, same minibatch, same loss");
+        let mut rebuilt = vec![0.0f32; p.dim()];
+        assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        for &(j, v) in &pairs {
+            rebuilt[j as usize] = v;
+        }
+        assert_eq!(rebuilt, dense);
+        // Sparse: a 16-doc minibatch touches far fewer than d coordinates.
+        assert!(pairs.len() < p.dim() / 2, "{} pairs", pairs.len());
+        // Scratch invariant: accumulator restored to all-zero.
+        assert!(s2.acc.iter().all(|&v| v == 0.0));
+        assert!(s2.touched.is_empty());
+    }
+
+    #[test]
+    fn sparse_logreg_sgd_converges() {
+        let p = logreg_problem();
+        let mut theta = p.init_theta(0);
+        let mut s = p.scratch();
+        let mut rng = SmallRng64::new(2);
+        let mut pairs = Vec::new();
+        let initial = p.eval_loss(&theta, &mut s);
+        assert!((initial - std::f64::consts::LN_2).abs() < 1e-9);
+        for _ in 0..800 {
+            p.grad_sparse(&theta, &mut pairs, &mut s, &mut rng).unwrap();
+            for &(j, v) in &pairs {
+                theta[j as usize] -= 1.0 * v;
+            }
+        }
+        let fin = p.eval_loss(&theta, &mut s);
+        assert!(fin < initial * 0.6, "{initial} -> {fin}");
+        assert!(p.eval_accuracy(&theta) > 0.75);
+    }
+
+    #[test]
+    fn dense_problems_have_no_sparse_path() {
+        let p = blob_problem();
+        let theta = p.init_theta(1);
+        let mut s = p.scratch();
+        let mut pairs = Vec::new();
+        assert!(p
+            .grad_sparse(&theta, &mut pairs, &mut s, &mut SmallRng64::new(1))
+            .is_none());
     }
 
     #[test]

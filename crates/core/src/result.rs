@@ -32,6 +32,9 @@ pub struct RunResult {
     pub staleness: Histogram,
     /// Scheduling staleness τs (Leashed-SGD; §IV.2).
     pub tau_s: Histogram,
+    /// Dirty shards per update — how many shard domains each publication
+    /// copied + CASed (sharded Leashed-SGD only; empty otherwise).
+    pub dirty_shards: Histogram,
     /// Successfully published updates.
     pub published: u64,
     /// Updates abandoned via the persistence bound.
@@ -94,8 +97,13 @@ impl RunResult {
                 Outcome::Crashed => format!("{:.0}%:crash", f * 100.0),
             })
             .collect();
+        let dirty = if self.dirty_shards.count() > 0 {
+            format!(" dirty(mean {:.1})", self.dirty_shards.mean())
+        } else {
+            String::new()
+        };
         format!(
-            "{} m={} upd={} ({:.0}/s) abort={} loss {:.3}->{:.3} [{}] stale(mean {:.1}) mem {}KB",
+            "{} m={} upd={} ({:.0}/s) abort={} loss {:.3}->{:.3} [{}] stale(mean {:.1}){} mem {}KB",
             self.algorithm.label(),
             self.threads,
             self.published,
@@ -105,6 +113,7 @@ impl RunResult {
             self.final_loss,
             conv.join(" "),
             self.staleness.mean(),
+            dirty,
             self.mem_peak_bytes / 1024,
         )
     }
@@ -131,6 +140,7 @@ mod tests {
             mem_trace: Series::new(),
             staleness: Histogram::new(8),
             tau_s: Histogram::new(8),
+            dirty_shards: Histogram::new(8),
             published: 500,
             aborted: 0,
             failed_cas: 3,

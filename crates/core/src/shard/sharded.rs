@@ -1,0 +1,440 @@
+//! [`ShardedShared`]: S independent LAU-SPC publication domains over one
+//! logical parameter vector.
+
+use super::snapshot::{ShardedSnapshot, SnapshotMode};
+use crate::mem::MemoryGauge;
+use crate::paramvec::{LeashedShared, PublishOutcome};
+use crate::pool::BufferPool;
+use std::sync::Arc;
+
+/// Aggregate outcome of one multi-shard publication: how many shards the
+/// update touched, how each fared, and the worst-case staleness observed
+/// across the published shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardedPublish {
+    /// Shards with nonzero gradient mass (the only ones copied + CASed).
+    pub dirty: u32,
+    /// Dirty shards whose CAS eventually succeeded.
+    pub published: u32,
+    /// Dirty shards abandoned via the persistence bound.
+    pub aborted: u32,
+    /// Total failed CAS attempts across all shards.
+    pub failed_cas: u32,
+    /// Max over published shards of `t_new - 1 - base_seq` — total
+    /// staleness τ against the caller's read (0 when no `base_seqs` were
+    /// supplied).
+    pub tau_max: u64,
+    /// Max over published shards of `t_new - 1 - t_first_base` —
+    /// scheduling staleness τs (§IV.2), per shard.
+    pub tau_s_max: u64,
+}
+
+impl ShardedPublish {
+    fn absorb(&mut self, outcome: PublishOutcome, base_seq: Option<u64>) {
+        self.dirty += 1;
+        match outcome {
+            PublishOutcome::Published {
+                t_new,
+                t_first_base,
+                failed_cas,
+                ..
+            } => {
+                self.published += 1;
+                self.failed_cas += failed_cas;
+                if let Some(b) = base_seq {
+                    self.tau_max = self.tau_max.max(t_new - 1 - b.min(t_new - 1));
+                }
+                self.tau_s_max = self.tau_s_max.max(t_new - 1 - t_first_base);
+            }
+            PublishOutcome::Aborted { failed_cas } => {
+                self.aborted += 1;
+                self.failed_cas += failed_cas;
+            }
+        }
+    }
+}
+
+/// The sharded ParameterVector: the logical dimension `d` is split into
+/// fixed-width shards (`width = ceil(d / S)`, the last shard possibly
+/// narrower), each an independent [`LeashedShared`] publication domain
+/// with its own sequence number, head pointer, and recycling pool. See
+/// the [module docs](super) for the protocol and consistency model.
+pub struct ShardedShared {
+    shards: Vec<LeashedShared>,
+    dim: usize,
+    width: usize,
+}
+
+impl ShardedShared {
+    /// Creates `min(num_shards, d)` shard domains (at least 1) publishing
+    /// the contents of `init` at per-shard sequence number 0. All shard
+    /// pools report to the same `gauge`; `recycle` selects buffer
+    /// recycling exactly as in [`BufferPool::new_with_recycling`].
+    pub fn new(init: &[f32], num_shards: usize, gauge: Arc<MemoryGauge>, recycle: bool) -> Self {
+        let dim = init.len();
+        assert!(dim > 0, "parameter dimension must be positive");
+        let s = num_shards.clamp(1, dim);
+        let width = dim.div_ceil(s);
+        let count = dim.div_ceil(width);
+        let shards = (0..count)
+            .map(|i| {
+                let lo = i * width;
+                let hi = (lo + width).min(dim);
+                let pool = BufferPool::new_with_recycling(hi - lo, Arc::clone(&gauge), recycle);
+                LeashedShared::new(&init[lo..hi], pool)
+            })
+            .collect();
+        ShardedShared { shards, dim, width }
+    }
+
+    /// Logical parameter dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shard domains `S`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Width of every shard but (possibly) the last.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The coordinate range `[lo, hi)` owned by shard `s`.
+    pub fn shard_range(&self, s: usize) -> (usize, usize) {
+        let lo = s * self.width;
+        (lo, (lo + self.width).min(self.dim))
+    }
+
+    /// The shard owning coordinate `idx`.
+    #[inline]
+    pub fn shard_of(&self, idx: usize) -> usize {
+        idx / self.width
+    }
+
+    /// Direct access to one shard domain (benches, tests).
+    pub fn shard(&self, s: usize) -> &LeashedShared {
+        &self.shards[s]
+    }
+
+    /// Writes the current per-shard sequence vector into `out`
+    /// (unvalidated point reads; diagnostic).
+    pub fn seq_vector(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.shards.iter().map(|s| s.current_seq()));
+    }
+
+    /// Sum of the per-shard sequence numbers (unvalidated; the sharded
+    /// analogue of [`LeashedShared::current_seq`]).
+    pub fn total_seq(&self) -> u64 {
+        self.shards.iter().map(|s| s.current_seq()).sum()
+    }
+
+    /// The memory gauge all shard pools report to.
+    pub fn gauge(&self) -> &Arc<MemoryGauge> {
+        self.shards[0].pool().gauge()
+    }
+
+    /// Sum of the per-shard pool high-water marks — an upper bound on the
+    /// concurrently outstanding buffers across the whole vector (the
+    /// per-shard peaks need not coincide in time).
+    pub fn pool_outstanding_peak(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pool().outstanding_peak())
+            .sum()
+    }
+
+    /// Acquires a multi-shard read. `Fast` performs one counted read per
+    /// shard; `Consistent` runs the double-collect validation loop,
+    /// giving up (and returning its last acquisition, flagged
+    /// inconsistent) after `max_retries` failed validations — pass
+    /// `u32::MAX` for an effectively unbounded, lock-free retry loop.
+    pub fn snapshot(&self, mode: SnapshotMode, max_retries: u32) -> ShardedSnapshot<'_> {
+        let s = self.shards.len();
+        let mut retries = 0u32;
+        // Allocated once; retries clear and refill (dropping a guard runs
+        // its stop_reading, so clearing also releases the counted reads).
+        let mut guards = Vec::with_capacity(s);
+        let mut seqs = Vec::with_capacity(s);
+        loop {
+            for shard in &self.shards {
+                let g = shard.latest();
+                seqs.push(g.seq());
+                guards.push(g);
+            }
+            // A single shard is trivially consistent; Fast mode skips
+            // validation entirely.
+            if s == 1 || mode == SnapshotMode::Fast {
+                return ShardedSnapshot {
+                    guards,
+                    seqs,
+                    consistent: s == 1,
+                    retries,
+                };
+            }
+            // Second collect: every shard still at its acquired sequence
+            // number ⇒ no shard published between the last acquisition
+            // and the first validation read ⇒ linearizable.
+            let valid = self
+                .shards
+                .iter()
+                .zip(&seqs)
+                .all(|(shard, &q)| shard.current_seq() == q);
+            if valid {
+                return ShardedSnapshot {
+                    guards,
+                    seqs,
+                    consistent: true,
+                    retries,
+                };
+            }
+            if retries >= max_retries {
+                return ShardedSnapshot {
+                    guards,
+                    seqs,
+                    consistent: false,
+                    retries,
+                };
+            }
+            retries += 1;
+            guards.clear();
+            seqs.clear();
+        }
+    }
+
+    /// Copies a consistent (best-effort, bounded-retry) view of the full
+    /// parameter vector into `dst`; returns the view's total sequence
+    /// number. Used by the convergence monitor.
+    pub fn snapshot_into(&self, dst: &mut [f32]) -> u64 {
+        let snap = self.snapshot(SnapshotMode::Consistent, 8);
+        snap.gather_into(dst);
+        snap.total_seq()
+    }
+
+    /// Publishes a dense gradient, copying and CASing **only the shards
+    /// with nonzero gradient mass** (`grad.len()` must equal `d`).
+    /// `base_seqs`, when given, is the per-shard sequence vector of the
+    /// read this gradient was computed from (for the τ statistic);
+    /// `on_attempt` fires once per per-shard CAS attempt with its
+    /// duration in seconds.
+    pub fn publish_dense(
+        &self,
+        grad: &[f32],
+        eta: f32,
+        persistence: Option<u32>,
+        base_seqs: Option<&[u64]>,
+        mut on_attempt: impl FnMut(f64),
+    ) -> ShardedPublish {
+        assert_eq!(grad.len(), self.dim, "gradient length");
+        let mut agg = ShardedPublish::default();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let (lo, hi) = self.shard_range(s);
+            let sub = &grad[lo..hi];
+            if sub.iter().all(|&v| v == 0.0) {
+                continue; // clean shard: no copy, no CAS
+            }
+            let out = shard.publish_update(sub, eta, persistence, &mut on_attempt);
+            agg.absorb(out, base_seqs.map(|b| b[s]));
+        }
+        agg
+    }
+
+    /// Publishes a sparse gradient given as `(index, value)` pairs with
+    /// **ascending global indices**: pairs are grouped into per-shard
+    /// runs and each dirty shard receives one sparse LAU-SPC publication
+    /// ([`LeashedShared::publish_update_sparse`]), so the cost is
+    /// O(dirty_shards · width + k) instead of O(d).
+    ///
+    /// # Panics
+    /// Panics (debug) if indices are not strictly ascending or out of
+    /// range.
+    pub fn publish_sparse(
+        &self,
+        pairs: &[(u32, f32)],
+        eta: f32,
+        persistence: Option<u32>,
+        base_seqs: Option<&[u64]>,
+        mut on_attempt: impl FnMut(f64),
+    ) -> ShardedPublish {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "indices ascending");
+        debug_assert!(pairs.last().map_or(true, |&(i, _)| (i as usize) < self.dim));
+        let mut agg = ShardedPublish::default();
+        let mut i = 0usize;
+        while i < pairs.len() {
+            let s = self.shard_of(pairs[i].0 as usize);
+            let (lo, hi) = self.shard_range(s);
+            let mut j = i + 1;
+            while j < pairs.len() && (pairs[j].0 as usize) < hi {
+                j += 1;
+            }
+            let out = self.shards[s].publish_update_sparse(
+                &pairs[i..j],
+                lo as u32,
+                eta,
+                persistence,
+                &mut on_attempt,
+            );
+            agg.absorb(out, base_seqs.map(|b| b[s]));
+            i = j;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sharded(dim: usize, s: usize, init: f32) -> ShardedShared {
+        ShardedShared::new(&vec![init; dim], s, Arc::new(MemoryGauge::new()), true)
+    }
+
+    #[test]
+    fn geometry_covers_dim_exactly() {
+        for (dim, s) in [(10, 4), (10, 64), (7, 1), (64, 8), (65, 8)] {
+            let sh = sharded(dim, s, 0.0);
+            assert!(sh.num_shards() <= s.clamp(1, dim));
+            let mut covered = 0;
+            for i in 0..sh.num_shards() {
+                let (lo, hi) = sh.shard_range(i);
+                assert_eq!(lo, covered);
+                assert!(hi > lo);
+                covered = hi;
+            }
+            assert_eq!(covered, dim, "dim {dim} S {s}");
+            for idx in 0..dim {
+                let s_of = sh.shard_of(idx);
+                let (lo, hi) = sh.shard_range(s_of);
+                assert!(lo <= idx && idx < hi);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_publish_matches_unsharded_for_any_shard_count() {
+        let dim = 13;
+        let grad: Vec<f32> = (0..dim).map(|i| (i as f32) - 6.0).collect();
+        let oracle = {
+            let pool = BufferPool::new(dim, Arc::new(MemoryGauge::new()));
+            let o = LeashedShared::new(&vec![1.0; dim], pool);
+            o.publish_update(&grad, 0.25, None, |_| {});
+            let mut buf = vec![0.0; dim];
+            o.snapshot_into(&mut buf);
+            buf
+        };
+        for s in [1, 2, 3, 5, 13] {
+            let sh = sharded(dim, s, 1.0);
+            let out = sh.publish_dense(&grad, 0.25, None, None, |_| {});
+            assert_eq!(out.published + (out.dirty - out.published), out.dirty);
+            let mut buf = vec![0.0; dim];
+            sh.snapshot_into(&mut buf);
+            assert_eq!(buf, oracle, "S={s}");
+        }
+    }
+
+    #[test]
+    fn clean_shards_are_skipped() {
+        let sh = sharded(16, 4, 0.0); // 4 shards of width 4
+        let mut grad = vec![0.0f32; 16];
+        grad[5] = 1.0; // only shard 1 dirty
+        let out = sh.publish_dense(&grad, 1.0, None, None, |_| {});
+        assert_eq!(out.dirty, 1);
+        assert_eq!(out.published, 1);
+        let mut seqs = Vec::new();
+        sh.seq_vector(&mut seqs);
+        assert_eq!(seqs, vec![0, 1, 0, 0], "untouched shards keep seq 0");
+        let mut buf = vec![0.0f32; 16];
+        sh.snapshot_into(&mut buf);
+        assert_eq!(buf[5], -1.0);
+        assert_eq!(buf.iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn sparse_publish_touches_only_owning_shards() {
+        let sh = sharded(64, 8, 0.0); // width 8
+        let pairs = [(3u32, 1.0f32), (7, 2.0), (40, -1.0)];
+        let out = sh.publish_sparse(&pairs, 1.0, None, None, |_| {});
+        assert_eq!(out.dirty, 2, "indices 3,7 share shard 0; 40 is shard 5");
+        assert_eq!(out.published, 2);
+        let mut buf = vec![0.0f32; 64];
+        sh.snapshot_into(&mut buf);
+        assert_eq!(buf[3], -1.0);
+        assert_eq!(buf[7], -2.0);
+        assert_eq!(buf[40], 1.0);
+        assert_eq!(lsgd_tensor::ops::dot(&buf, &buf), 1.0 + 4.0 + 1.0);
+    }
+
+    #[test]
+    fn sparse_and_dense_publications_agree() {
+        let dim = 37;
+        let pairs = [(0u32, 0.5f32), (11, -2.0), (12, 1.5), (36, 4.0)];
+        let mut grad = vec![0.0f32; dim];
+        for &(i, v) in &pairs {
+            grad[i as usize] = v;
+        }
+        for s in [1, 4, 37] {
+            let a = sharded(dim, s, 2.0);
+            let b = sharded(dim, s, 2.0);
+            a.publish_dense(&grad, 0.1, None, None, |_| {});
+            b.publish_sparse(&pairs, 0.1, None, None, |_| {});
+            let (mut va, mut vb) = (vec![0.0; dim], vec![0.0; dim]);
+            a.snapshot_into(&mut va);
+            b.snapshot_into(&mut vb);
+            assert_eq!(va, vb, "S={s}");
+        }
+    }
+
+    #[test]
+    fn consistent_snapshot_validates_seq_vector() {
+        let sh = sharded(32, 4, 0.0);
+        let grad = vec![1.0f32; 32];
+        sh.publish_dense(&grad, 1.0, None, None, |_| {});
+        let snap = sh.snapshot(SnapshotMode::Consistent, u32::MAX);
+        assert!(snap.is_consistent());
+        assert_eq!(snap.seqs(), &[1, 1, 1, 1]);
+        assert_eq!(snap.total_seq(), 4);
+        let mut buf = vec![0.0f32; 32];
+        snap.gather_into(&mut buf);
+        assert!(buf.iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn fast_snapshot_is_flagged_inconsistent_for_multiple_shards() {
+        let sh = sharded(8, 2, 0.0);
+        assert!(!sh.snapshot(SnapshotMode::Fast, 0).is_consistent());
+        let single = sharded(8, 1, 0.0);
+        assert!(single.snapshot(SnapshotMode::Fast, 0).is_consistent());
+    }
+
+    #[test]
+    fn staleness_fields_report_against_base_seqs() {
+        let sh = sharded(8, 2, 0.0);
+        let grad = vec![1.0f32; 8];
+        // Two publishes move every shard to seq 2.
+        sh.publish_dense(&grad, 1.0, None, None, |_| {});
+        sh.publish_dense(&grad, 1.0, None, None, |_| {});
+        // A stale base (seq vector all zero) yields tau_max = 2.
+        let out = sh.publish_dense(&grad, 1.0, None, Some(&[0, 0]), |_| {});
+        assert_eq!(out.tau_max, 2);
+        assert_eq!(out.tau_s_max, 0, "uncontended: no lost races");
+    }
+
+    #[test]
+    fn shards_share_one_gauge_and_recycle() {
+        let gauge = Arc::new(MemoryGauge::new());
+        let sh = ShardedShared::new(&vec![0.0; 64], 8, Arc::clone(&gauge), true);
+        let grad = vec![1.0f32; 64];
+        for _ in 0..20 {
+            sh.publish_dense(&grad, 0.1, None, None, |_| {});
+        }
+        // Single-threaded steady state: one outstanding buffer per shard.
+        let outstanding: usize = (0..sh.num_shards())
+            .map(|s| sh.shard(s).pool().outstanding())
+            .sum();
+        assert_eq!(outstanding, sh.num_shards());
+        assert!(gauge.pool_reuses() > 0, "recycling must engage");
+    }
+}

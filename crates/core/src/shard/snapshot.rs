@@ -1,0 +1,86 @@
+//! The cross-shard read protocol: [`ShardedSnapshot`] and its two
+//! consistency modes.
+
+use crate::paramvec::ReadGuard;
+
+/// Cross-shard read consistency (see the module docs for the protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnapshotMode {
+    /// One counted read per shard, no cross-shard validation: shards may
+    /// be observed at mixed versions (HOGWILD!-style, cheapest).
+    Fast,
+    /// Double-collect validate-and-retry: the returned view corresponds
+    /// to one linearizable point across all shards (unless the retry
+    /// bound is exhausted — see [`ShardedSnapshot::is_consistent`]).
+    Consistent,
+}
+
+impl SnapshotMode {
+    /// Short label used in algorithm names ("fast" / "cst").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SnapshotMode::Fast => "fast",
+            SnapshotMode::Consistent => "cst",
+        }
+    }
+}
+
+/// A counted multi-shard read: one [`ReadGuard`] per shard plus the
+/// per-shard sequence vector recorded at acquisition. Buffers stay valid
+/// (and unreclaimed) for the snapshot's lifetime.
+pub struct ShardedSnapshot<'a> {
+    pub(super) guards: Vec<ReadGuard<'a>>,
+    pub(super) seqs: Vec<u64>,
+    pub(super) consistent: bool,
+    pub(super) retries: u32,
+}
+
+impl<'a> ShardedSnapshot<'a> {
+    /// Number of shards in the snapshot.
+    pub fn num_shards(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// The per-shard sequence vector observed at acquisition.
+    pub fn seqs(&self) -> &[u64] {
+        &self.seqs
+    }
+
+    /// Sum of the per-shard sequence numbers — the total number of shard
+    /// publications reflected in this view (the sharded analogue of the
+    /// unsharded `t`).
+    pub fn total_seq(&self) -> u64 {
+        self.seqs.iter().sum()
+    }
+
+    /// Whether the double-collect validation succeeded: `true` means the
+    /// view is linearizable across shards; `false` means either the
+    /// snapshot was taken in [`SnapshotMode::Fast`] (with more than one
+    /// shard) or the consistent mode exhausted its retry bound and
+    /// returned its last (possibly mixed-version) acquisition.
+    pub fn is_consistent(&self) -> bool {
+        self.consistent
+    }
+
+    /// Validation retries performed before this snapshot was returned.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Parameter values of shard `s` (valid for the snapshot lifetime).
+    pub fn shard_theta(&self, s: usize) -> &[f32] {
+        self.guards[s].theta()
+    }
+
+    /// Gathers the full parameter vector into `dst` (shard by shard,
+    /// contiguous layout). `dst.len()` must equal the sharded dimension.
+    pub fn gather_into(&self, dst: &mut [f32]) {
+        let mut off = 0usize;
+        for g in &self.guards {
+            let th = g.theta();
+            dst[off..off + th.len()].copy_from_slice(th);
+            off += th.len();
+        }
+        assert_eq!(off, dst.len(), "destination length must equal dim");
+    }
+}

@@ -16,6 +16,7 @@ use crate::paramvec::{LeashedShared, PublishOutcome};
 use crate::pool::BufferPool;
 use crate::problem::Problem;
 use crate::result::RunResult;
+use crate::shard::{effective_shards, ShardedShared};
 use lsgd_metrics::{ConvergenceTracker, Histogram, OnlineStats, Series};
 use lsgd_tensor::SmallRng64;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -114,6 +115,7 @@ impl Default for TrainConfig {
 struct WorkerStats {
     staleness: Histogram,
     tau_s: Histogram,
+    dirty_shards: Histogram,
     published: u64,
     aborted: u64,
     failed_cas: u64,
@@ -127,6 +129,7 @@ impl WorkerStats {
         WorkerStats {
             staleness: Histogram::new(cap),
             tau_s: Histogram::new(cap),
+            dirty_shards: Histogram::new(cap),
             published: 0,
             aborted: 0,
             failed_cas: 0,
@@ -139,6 +142,7 @@ impl WorkerStats {
     fn merge(&mut self, other: &WorkerStats) {
         self.staleness.merge(&other.staleness);
         self.tau_s.merge(&other.tau_s);
+        self.dirty_shards.merge(&other.dirty_shards);
         self.published += other.published;
         self.aborted += other.aborted;
         self.failed_cas += other.failed_cas;
@@ -154,6 +158,7 @@ enum SharedState {
     Locked(LockedParams),
     Hogwild(HogwildParams),
     Leashed(LeashedShared),
+    Sharded(ShardedShared),
 }
 
 impl SharedState {
@@ -166,6 +171,9 @@ impl SharedState {
                 p.read_into(dst);
             }
             SharedState::Leashed(s) => {
+                s.snapshot_into(dst);
+            }
+            SharedState::Sharded(s) => {
                 s.snapshot_into(dst);
             }
         }
@@ -210,6 +218,12 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
                 BufferPool::new_with_recycling(dim, Arc::clone(&gauge), cfg.pool_recycling);
             SharedState::Leashed(LeashedShared::new(&theta0, pool))
         }
+        Algorithm::ShardedLeashed { shards, .. } => SharedState::Sharded(ShardedShared::new(
+            &theta0,
+            effective_shards(shards),
+            Arc::clone(&gauge),
+            cfg.pool_recycling,
+        )),
     };
 
     let control = Control {
@@ -286,6 +300,7 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
     let wall = start.elapsed();
     let pool_peak = match &shared {
         SharedState::Leashed(s) => s.pool().outstanding_peak(),
+        SharedState::Sharded(s) => s.pool_outstanding_peak(),
         _ => 0,
     };
 
@@ -302,6 +317,7 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
         mem_trace,
         staleness: merged.staleness,
         tau_s: merged.tau_s,
+        dirty_shards: merged.dirty_shards,
         published: merged.published,
         aborted: merged.aborted,
         failed_cas: merged.failed_cas,
@@ -375,6 +391,20 @@ fn run_worker<P: Problem>(
             gauge.sub(2 * vec_bytes);
             return stats;
         }
+        SharedState::Sharded(s) => {
+            // Sharded workers gather into a local theta copy (the shards
+            // are not contiguous in memory), so like ASYNC/HOG they hold
+            // local copy + local gradient.
+            let gauge = Arc::clone(s.gauge());
+            gauge.add(2 * vec_bytes);
+            let mut local = vec![0.0f32; dim];
+            let stats = run_sharded_worker(
+                problem, s, control, cfg, &mut scratch, &mut rng, &mut grad, &mut local,
+                stats,
+            );
+            gauge.sub(2 * vec_bytes);
+            return stats;
+        }
     };
     // ---- Leashed-SGD worker (Algorithm 3 thread body). ----
     let Algorithm::Leashed { persistence } = cfg.algorithm else {
@@ -441,6 +471,134 @@ fn run_worker<P: Problem>(
         stats.iter_time.record(iter_start.elapsed().as_secs_f64());
     }
     gauge.sub(vec_bytes);
+    stats
+}
+
+/// Per-worker bound on the consistent snapshot's validate-and-retry loop:
+/// after this many failed double-collects the worker proceeds with its
+/// last (possibly mixed-version) view — SGD tolerates the relaxation, and
+/// a bounded loop keeps read latency predictable under heavy publishing.
+const WORKER_SNAPSHOT_RETRIES: u32 = 32;
+
+/// Worker loop for sharded Leashed-SGD: multi-shard counted read
+/// (gathered into a local copy), gradient, and a dirty-shards-only
+/// publication — sparse `(index, value)` pairs when the problem provides
+/// them ([`Problem::grad_sparse`]) or top-k sparsification is on, dense
+/// per-shard sub-gradients otherwise.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_worker<P: Problem>(
+    problem: &P,
+    shared: &ShardedShared,
+    control: &Control,
+    cfg: &TrainConfig,
+    scratch: &mut P::Scratch,
+    rng: &mut SmallRng64,
+    grad: &mut [f32],
+    local: &mut [f32],
+    mut stats: WorkerStats,
+) -> WorkerStats {
+    let Algorithm::ShardedLeashed {
+        persistence,
+        snapshot: snapshot_mode,
+        ..
+    } = cfg.algorithm
+    else {
+        unreachable!("sharded shared state implies sharded algorithm");
+    };
+    let mut base_seqs: Vec<u64> = Vec::with_capacity(shared.num_shards());
+    let mut pairs: Vec<(u32, f32)> = Vec::new();
+    let mut sparsify_scratch = Vec::new();
+    let mut velocity: Vec<f32> = Vec::new();
+    // The sparse-native path bypasses the dense gradient buffer entirely;
+    // momentum needs a dense velocity fold, so it forces the dense path.
+    let sparse_native_ok = cfg.momentum == 0.0 && cfg.sparsify.is_none();
+    while !control.stop.load(Ordering::Relaxed) {
+        let iter_start = Instant::now();
+        {
+            let snap = shared.snapshot(snapshot_mode, WORKER_SNAPSHOT_RETRIES);
+            base_seqs.clear();
+            base_seqs.extend_from_slice(snap.seqs());
+            snap.gather_into(local);
+        }
+        let tc_start = Instant::now();
+        let mut sparse_ready = false;
+        let mut loss = f32::NAN;
+        if sparse_native_ok {
+            if let Some(l) = problem.grad_sparse(local, &mut pairs, scratch, rng) {
+                loss = l;
+                sparse_ready = true;
+            }
+        }
+        if !sparse_ready {
+            loss = problem.grad(local, grad, scratch, rng);
+        }
+        stats.tc.record(tc_start.elapsed().as_secs_f64());
+        if !loss.is_finite() {
+            control.crashed.store(true, Ordering::SeqCst);
+            control.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+        // τ estimate in *update* units (matching the unsharded path): the
+        // max per-shard seq advance since our read. Each concurrent update
+        // bumps every shard it touches by exactly 1, so the max over
+        // shards counts concurrent updates (exactly for dense updates,
+        // a lower bound for sparse ones) — summing shard seqs would
+        // instead count shard-publications and inflate τ by up to S.
+        let tau_est = (0..shared.num_shards())
+            .map(|s| shared.shard(s).current_seq().saturating_sub(base_seqs[s]))
+            .max()
+            .unwrap_or(0);
+        let eta = cfg.eta_policy.effective(cfg.eta, tau_est);
+        let tu_stats = &mut stats.tu;
+        let outcome = if sparse_ready {
+            shared.publish_sparse(&pairs, eta, persistence, Some(&base_seqs), |secs| {
+                tu_stats.record(secs)
+            })
+        } else if cfg.momentum == 0.0 {
+            if let Some(frac) = cfg.sparsify {
+                // Index extraction feeds the dirty-shard path directly —
+                // no zeroing pass, no dense re-scan at publish time.
+                crate::sparsify::sparsify_top_frac_indices(
+                    grad,
+                    frac,
+                    &mut sparsify_scratch,
+                    &mut pairs,
+                );
+                shared.publish_sparse(&pairs, eta, persistence, Some(&base_seqs), |secs| {
+                    tu_stats.record(secs)
+                })
+            } else {
+                shared.publish_dense(grad, eta, persistence, Some(&base_seqs), |secs| {
+                    tu_stats.record(secs)
+                })
+            }
+        } else {
+            if let Some(frac) = cfg.sparsify {
+                crate::sparsify::sparsify_top_frac(grad, frac, &mut sparsify_scratch);
+            }
+            let direction = fold_momentum(grad, &mut velocity, cfg.momentum);
+            shared.publish_dense(direction, eta, persistence, Some(&base_seqs), |secs| {
+                tu_stats.record(secs)
+            })
+        };
+        // An update counts as published when at least one of its dirty
+        // shards landed; fully abandoned updates count as aborted. An
+        // exactly-zero gradient (dirty = 0) is a successful no-op — the
+        // unsharded path publishes it as one; counting it here keeps the
+        // max_updates budget advancing (and the run terminating) when
+        // gradients vanish at convergence.
+        if outcome.published > 0 || outcome.dirty == 0 {
+            stats.published += 1;
+            stats.staleness.record(outcome.tau_max);
+            stats.tau_s.record(outcome.tau_s_max);
+            stats.dirty_shards.record(outcome.dirty as u64);
+            control.total_published.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.aborted += 1;
+        }
+        stats.failed_cas += outcome.failed_cas as u64;
+        stats.iter_time.record(iter_start.elapsed().as_secs_f64());
+    }
     stats
 }
 

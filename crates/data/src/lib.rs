@@ -17,11 +17,16 @@
 //! * [`blobs`] — Gaussian mixture classification in arbitrary dimension.
 //! * [`regression`] — (sparse) linear-regression instances, the workload
 //!   class for which HOGWILD!-style algorithms were originally analysed.
+//! * [`sparse_logreg`] — high-dimensional sparse logistic regression with
+//!   power-law (text-like) token frequencies, the workload exercising the
+//!   sharded dirty-shard publication path.
 
 pub mod blobs;
 pub mod dataset;
 pub mod regression;
+pub mod sparse_logreg;
 pub mod synth_digits;
 
 pub use dataset::{Batcher, Dataset};
+pub use sparse_logreg::SparseLogReg;
 pub use synth_digits::SynthDigits;

@@ -1,0 +1,278 @@
+//! Sharded-ParameterVector tests: differential properties against the
+//! unsharded `LeashedShared` oracle, and cross-shard snapshot stress
+//! under contention (per the `tests/common` watchdog conventions).
+//!
+//! The differential properties pin down the sharding contract: for any
+//! gradient sequence, publishing through `ShardedShared` (any shard
+//! count, dense or sparse) must produce bitwise the same parameters as
+//! the unsharded protocol, because each shard runs the identical LAU-SPC
+//! loop over its coordinate range. The stress tests then check the one
+//! thing sharding adds on top — the cross-shard consistent snapshot:
+//! a validated snapshot must correspond to one linearizable point
+//! (never a torn seq vector).
+
+mod common;
+
+use common::{stress_threads, Watchdog, STRESS_LIMIT};
+use leashed_sgd::core::mem::MemoryGauge;
+use leashed_sgd::core::paramvec::LeashedShared;
+use leashed_sgd::core::pool::BufferPool;
+use leashed_sgd::core::prelude::*;
+use leashed_sgd::core::shard::{ShardedShared, SnapshotMode};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sharded(dim: usize, s: usize, init: f32) -> ShardedShared {
+    ShardedShared::new(&vec![init; dim], s, Arc::new(MemoryGauge::new()), true)
+}
+
+fn unsharded(dim: usize, init: f32) -> LeashedShared {
+    let pool = BufferPool::new(dim, Arc::new(MemoryGauge::new()));
+    LeashedShared::new(&vec![init; dim], pool)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dense publishes through any shard count equal the unsharded
+    /// oracle bitwise, for arbitrary gradient sequences.
+    #[test]
+    fn sharded_dense_matches_unsharded_oracle(
+        grads in proptest::collection::vec(
+            proptest::collection::vec(-4i32..5, 9..10), 1..24),
+        shards in 1usize..12,
+    ) {
+        let dim = 9;
+        let sh = sharded(dim, shards, 0.5);
+        let oracle = unsharded(dim, 0.5);
+        for g in &grads {
+            let gv: Vec<f32> = g.iter().map(|&v| v as f32).collect();
+            sh.publish_dense(&gv, 0.5, None, None, |_| {});
+            oracle.publish_update(&gv, 0.5, None, |_| {});
+        }
+        let mut got = vec![0.0f32; dim];
+        let mut want = vec![0.0f32; dim];
+        sh.snapshot_into(&mut got);
+        oracle.snapshot_into(&mut want);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Sparse pair publishes equal the oracle fed the equivalent dense
+    /// gradient, for arbitrary sparse index subsets and shard counts.
+    #[test]
+    fn sharded_sparse_matches_dense_oracle(
+        updates in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 17..18), 1..16),
+        shards in 1usize..20,
+    ) {
+        let dim = 17;
+        let sh = sharded(dim, shards, 1.0);
+        let oracle = unsharded(dim, 1.0);
+        for (k, mask) in updates.iter().enumerate() {
+            let mut dense = vec![0.0f32; dim];
+            let mut pairs = Vec::new();
+            for (i, &on) in mask.iter().enumerate() {
+                if on {
+                    let v = (i as f32 + 1.0) * if k % 2 == 0 { 1.0 } else { -0.5 };
+                    dense[i] = v;
+                    pairs.push((i as u32, v));
+                }
+            }
+            sh.publish_sparse(&pairs, 0.25, None, None, |_| {});
+            oracle.publish_update(&dense, 0.25, None, |_| {});
+        }
+        let mut got = vec![0.0f32; dim];
+        let mut want = vec![0.0f32; dim];
+        sh.snapshot_into(&mut got);
+        oracle.snapshot_into(&mut want);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The sharded trainer at S = 1 against the unsharded trainer on the
+    /// same problem, seed and budget: both runs are driven by the same
+    /// RNG streams over dense gradients, so the losses they reach are
+    /// statistically equivalent (and both converge).
+    #[test]
+    fn sharded_trainer_s1_equivalent_to_unsharded(seed in 0u64..4) {
+        let data = leashed_sgd::data::regression::dense_regression(300, 24, 0.05, seed);
+        let p = RegressionProblem::new(data, 8);
+        let mk = |algorithm| TrainConfig {
+            algorithm,
+            threads: 2,
+            eta: 0.02,
+            epsilons: vec![0.5],
+            max_updates: 4_000,
+            max_wall: Duration::from_secs(10),
+            eval_every: Duration::from_millis(10),
+            seed: seed + 100,
+            ..TrainConfig::default()
+        };
+        let sharded = train(&p, &mk(Algorithm::ShardedLeashed {
+            persistence: None,
+            shards: 1,
+            snapshot: SnapshotMode::Consistent,
+        }));
+        let plain = train(&p, &mk(Algorithm::Leashed { persistence: None }));
+        prop_assert!(!sharded.crashed && !plain.crashed);
+        prop_assert!(sharded.fully_converged(), "sharded: {}", sharded.summary());
+        prop_assert!(plain.fully_converged(), "plain: {}", plain.summary());
+        let ratio = (sharded.final_loss / plain.final_loss.max(1e-12)).ln().abs();
+        prop_assert!(
+            ratio < (4.0f64).ln(),
+            "losses diverged: sharded {} vs plain {}",
+            sharded.final_loss,
+            plain.final_loss
+        );
+    }
+}
+
+/// Consistent snapshots are never torn: every validated snapshot's
+/// contents match its seq vector exactly, per shard, while writers
+/// hammer every shard.
+#[test]
+fn consistent_snapshot_never_observes_torn_seq_vector() {
+    let _watchdog = Watchdog::arm(
+        "consistent_snapshot_never_observes_torn_seq_vector",
+        STRESS_LIMIT,
+    );
+    let dim = 64;
+    let num_shards = 8;
+    let width = dim / num_shards;
+    let sh = Arc::new(sharded(dim, num_shards, 0.0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers = stress_threads().clamp(2, 8);
+    std::thread::scope(|sc| {
+        for _ in 0..writers {
+            let sh = Arc::clone(&sh);
+            let stop = Arc::clone(&stop);
+            sc.spawn(move || {
+                // eta = 1, grad = -1 everywhere: each publish adds exactly
+                // +1 to every component of every shard, so a shard's
+                // contents always equal its seq number.
+                let grad = vec![-1.0f32; dim];
+                while !stop.load(Ordering::Relaxed) {
+                    sh.publish_dense(&grad, 1.0, None, None, |_| {});
+                }
+            });
+        }
+        for _ in 0..2.max(stress_threads() / 2) {
+            let sh = Arc::clone(&sh);
+            let stop = Arc::clone(&stop);
+            sc.spawn(move || {
+                let mut validated = 0u64;
+                while validated < 2_000 && !stop.load(Ordering::Relaxed) {
+                    let snap = sh.snapshot(SnapshotMode::Consistent, u32::MAX);
+                    assert!(snap.is_consistent(), "unbounded retries must validate");
+                    let seqs = snap.seqs().to_vec();
+                    for s in 0..num_shards {
+                        let th = snap.shard_theta(s);
+                        assert_eq!(th.len(), width);
+                        for &v in th {
+                            assert_eq!(
+                                v as u64, seqs[s],
+                                "torn shard {s}: contents {v} vs seq {}",
+                                seqs[s]
+                            );
+                        }
+                    }
+                    validated += 1;
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+/// Single ascending writer: a consistent snapshot must observe the
+/// staircase invariant (shard seqs non-increasing left to right, total
+/// spread ≤ 1 update), because that invariant holds at *every* instant
+/// and a validated snapshot is linearizable. Fast snapshots carry no
+/// such guarantee — this is exactly the consistency the mode buys.
+#[test]
+fn consistent_snapshot_is_linearizable_under_ascending_writer() {
+    let _watchdog = Watchdog::arm(
+        "consistent_snapshot_is_linearizable_under_ascending_writer",
+        STRESS_LIMIT,
+    );
+    let dim = 32;
+    let num_shards = 4;
+    let sh = Arc::new(sharded(dim, num_shards, 0.0));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|sc| {
+        {
+            let sh = Arc::clone(&sh);
+            let stop = Arc::clone(&stop);
+            sc.spawn(move || {
+                let grad = vec![-1.0f32; dim];
+                while !stop.load(Ordering::Relaxed) {
+                    // publish_dense walks shards in ascending index order.
+                    sh.publish_dense(&grad, 1.0, None, None, |_| {});
+                }
+            });
+        }
+        for _ in 0..2 {
+            let sh = Arc::clone(&sh);
+            let stop = Arc::clone(&stop);
+            sc.spawn(move || {
+                let mut checked = 0u64;
+                while checked < 5_000 && !stop.load(Ordering::Relaxed) {
+                    let snap = sh.snapshot(SnapshotMode::Consistent, u32::MAX);
+                    let seqs = snap.seqs();
+                    for w in seqs.windows(2) {
+                        assert!(
+                            w[0] >= w[1],
+                            "ascending writer implies non-increasing seqs, got {seqs:?}"
+                        );
+                    }
+                    assert!(
+                        seqs[0] - seqs[num_shards - 1] <= 1,
+                        "one in-flight update spreads seqs by at most 1, got {seqs:?}"
+                    );
+                    checked += 1;
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+/// Concurrent sparse publishes to disjoint coordinate sets conserve every
+/// update (per-shard exact-once), and per-shard pools stay bounded.
+#[test]
+fn concurrent_sparse_publishes_apply_exactly_once() {
+    let _watchdog = Watchdog::arm("concurrent_sparse_publishes_apply_exactly_once", STRESS_LIMIT);
+    let dim = 96;
+    let num_shards = 12;
+    let sh = Arc::new(sharded(dim, num_shards, 0.0));
+    let threads = stress_threads().clamp(2, 6);
+    let per_thread = 400u64;
+    std::thread::scope(|sc| {
+        for tid in 0..threads {
+            let sh = Arc::clone(&sh);
+            sc.spawn(move || {
+                // Thread tid owns coordinates ≡ tid (mod threads): no two
+                // threads touch the same coordinate, but shards overlap.
+                let pairs: Vec<(u32, f32)> = (0..dim)
+                    .filter(|i| i % threads == tid)
+                    .map(|i| (i as u32, -1.0))
+                    .collect();
+                for _ in 0..per_thread {
+                    let out = sh.publish_sparse(&pairs, 1.0, None, None, |_| {});
+                    assert_eq!(out.published, out.dirty, "no persistence bound");
+                }
+            });
+        }
+    });
+    let mut buf = vec![0.0f32; dim];
+    sh.snapshot_into(&mut buf);
+    for (i, &v) in buf.iter().enumerate() {
+        assert_eq!(
+            v as u64, per_thread,
+            "coordinate {i}: {v} ≠ {per_thread} exactly-once applications"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end SGD **step latency**: parameter read + minibatch gradient +
+//! publication, per workload × algorithm — the quantity the paper's
+//! convergence-per-second results are made of (`T_it ≈ Tc + Tu`).
+//!
+//! Workloads: the Table II MLP (`d = 134,794`), the Table III CNN
+//! (`d = 27,354`, im2col-dominated `Tc`), and the PR 4 sparse
+//! logistic-regression instance (native sparse gradients). Algorithms:
+//! SEQ-style locked, HOGWILD!, Leashed-SGD, and sharded Leashed-SGD at
+//! the heuristic shard count.
+//!
+//! The `*_prepr/` rows re-run the NN workloads on the **ablation
+//! baseline** ([`ComputeOpts::baseline`]: fresh packing per GEMM, serial
+//! materialised im2col) — isolating the cost of the panel cache, fused
+//! lowering, and intra-step threading. Gradients on the two paths are
+//! bitwise identical (see `crates/nn/tests/fastpath_differential.rs`),
+//! so the rows differ in time only. On a single core the two sit near
+//! parity (the shared-kernel optimisations lift both); the gap opens
+//! with pool threads. The PR's ≥ 1.5× CNN step claim is measured against
+//! the *actual pre-PR tree* from a clean `git worktree` (see the README
+//! performance section), which this in-tree ablation cannot reproduce.
+//!
+//! Set `LSGD_BENCH_SMOKE=1` for short windows (CI) and
+//! `LSGD_BENCH_JSON=BENCH_sgd_step.json` to emit the machine-readable
+//! trajectory file. Throughput is reported as parameters/s
+//! (`d / step-latency`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsgd_core::baseline::{HogwildParams, LockedParams};
+use lsgd_core::mem::MemoryGauge;
+use lsgd_core::pool::BufferPool;
+use lsgd_core::prelude::*;
+use lsgd_core::shard::default_shards;
+use lsgd_core::{LeashedShared, ShardedShared};
+use lsgd_data::sparse_logreg::sparse_logreg;
+use lsgd_data::SynthDigits;
+use lsgd_nn::ComputeOpts;
+use lsgd_tensor::SmallRng64;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Step size: small enough that thousands of benchmark steps cannot
+/// destabilise the iterates (a diverged `theta` would change gradient
+/// timing mid-measurement).
+const ETA: f32 = 1e-4;
+
+/// One shared-parameter backend per benchmarked algorithm.
+enum Shared {
+    Locked(LockedParams),
+    Hog(HogwildParams),
+    Leashed(LeashedShared),
+    Sharded(ShardedShared),
+}
+
+impl Shared {
+    fn build(kind: &str, theta0: &[f32], workers_hint: usize) -> Shared {
+        let gauge = Arc::new(MemoryGauge::new());
+        match kind {
+            "SEQ" => Shared::Locked(LockedParams::new(theta0.to_vec(), gauge)),
+            "HOG" => Shared::Hog(HogwildParams::new(theta0, gauge)),
+            "LSH" => {
+                let pool = BufferPool::new_with_recycling(theta0.len(), gauge, true);
+                Shared::Leashed(LeashedShared::new(theta0, pool))
+            }
+            "LSH_sharded" => Shared::Sharded(ShardedShared::new(
+                theta0,
+                default_shards(theta0.len(), workers_hint),
+                gauge,
+                true,
+            )),
+            other => unreachable!("unknown algorithm {other}"),
+        }
+    }
+
+    /// One full SGD step: read the shared parameters, compute a minibatch
+    /// gradient, publish the scaled update.
+    fn step<P: Problem>(
+        &self,
+        problem: &P,
+        local: &mut [f32],
+        grad: &mut [f32],
+        pairs: &mut Vec<(u32, f32)>,
+        scratch: &mut P::Scratch,
+        rng: &mut SmallRng64,
+    ) {
+        match self {
+            Shared::Locked(p) => {
+                p.read_into(local);
+                problem.grad(local, grad, scratch, rng);
+                p.update(grad, ETA);
+            }
+            Shared::Hog(p) => {
+                p.read_into(local);
+                problem.grad(local, grad, scratch, rng);
+                p.update(grad, ETA);
+            }
+            Shared::Leashed(s) => {
+                let loss;
+                {
+                    let guard = s.latest();
+                    // Zero-copy read (paper P3): gradient straight from
+                    // the published buffer.
+                    loss = problem.grad(guard.theta(), grad, scratch, rng);
+                }
+                let _ = loss;
+                s.publish_update(grad, ETA, None, |_| {});
+            }
+            Shared::Sharded(s) => {
+                {
+                    let snap = s.snapshot(SnapshotMode::Fast, 8);
+                    snap.gather_into(local);
+                }
+                if let Some(_loss) = problem.grad_sparse(local, pairs, scratch, rng) {
+                    s.publish_sparse(pairs, ETA, None, None, |_| {});
+                } else {
+                    problem.grad(local, grad, scratch, rng);
+                    s.publish_dense(grad, ETA, None, None, |_| {});
+                }
+            }
+        }
+    }
+}
+
+/// Benchmarks `algos` step latency on one workload under `name`.
+fn bench_workload<P: Problem>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    problem: &P,
+    algos: &[&str],
+) {
+    let theta0 = problem.init_theta(1);
+    let dim = problem.dim();
+    group.throughput(Throughput::Elements(dim as u64));
+    for &kind in algos {
+        let shared = Shared::build(kind, &theta0, 4);
+        let mut local = vec![0.0f32; dim];
+        let mut grad = vec![0.0f32; dim];
+        let mut pairs: Vec<(u32, f32)> = Vec::new();
+        let mut scratch = problem.scratch();
+        let mut rng = SmallRng64::new(99);
+        group.bench_with_input(BenchmarkId::new(name, kind), &(), |bench, _| {
+            bench.iter(|| {
+                shared.step(
+                    problem,
+                    &mut local,
+                    &mut grad,
+                    &mut pairs,
+                    &mut scratch,
+                    &mut rng,
+                );
+            });
+        });
+    }
+}
+
+fn bench_sgd_step(c: &mut Criterion) {
+    let smoke = std::env::var("LSGD_BENCH_SMOKE").is_ok();
+    let mut group = c.benchmark_group("sgd_step");
+    if smoke {
+        group
+            .warm_up_time(Duration::from_millis(150))
+            .measurement_time(Duration::from_millis(500))
+            .sample_size(10);
+    } else {
+        group
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2))
+            .sample_size(10);
+    }
+    let all: [&str; 4] = ["SEQ", "HOG", "LSH", "LSH_sharded"];
+    let samples = if smoke { 512 } else { 2048 };
+
+    // Table II MLP, minibatch 128.
+    let mlp_data = SynthDigits::default().generate(samples, 1);
+    let mlp = NnProblem::new(lsgd_nn::mlp_mnist(), mlp_data.clone(), 128, 1);
+    bench_workload(&mut group, "mlp", &mlp, &all);
+    let mlp_pre =
+        NnProblem::new(lsgd_nn::mlp_mnist(), mlp_data, 128, 1).with_compute_opts(ComputeOpts::baseline());
+    bench_workload(&mut group, "mlp_prepr", &mlp_pre, &["LSH"]);
+
+    // Table III CNN, minibatch 64 — the im2col-dominated workload this
+    // PR's >= 1.5x step-latency target is measured on (fast vs _prepr).
+    let cnn_data = SynthDigits::default().generate(samples, 8);
+    let cnn = NnProblem::new(lsgd_nn::cnn_mnist(), cnn_data.clone(), 64, 1);
+    bench_workload(&mut group, "cnn", &cnn, &all);
+    let cnn_pre =
+        NnProblem::new(lsgd_nn::cnn_mnist(), cnn_data, 64, 1).with_compute_opts(ComputeOpts::baseline());
+    bench_workload(&mut group, "cnn_prepr", &cnn_pre, &["LSH"]);
+
+    // Sparse logistic regression (PR 4 workload), minibatch 16: the
+    // sharded row exercises the native sparse dirty-shard publication.
+    let logreg = SparseLogRegProblem::new(sparse_logreg(2 * samples, 16_384, 12, 9), 16);
+    bench_workload(&mut group, "sparse_logreg", &logreg, &all);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgd_step);
+criterion_main!(benches);

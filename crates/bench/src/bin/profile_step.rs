@@ -1,0 +1,112 @@
+//! Per-layer timing decomposition of one NN gradient step — the
+//! diagnostic behind the sgd_step benchmark's optimisation work. Prints
+//! wall time per (layer, direction) for the Table III CNN and Table II
+//! MLP at training minibatch sizes, on the current compute path.
+//!
+//! ```text
+//! cargo run --release -p lsgd_bench --bin profile_step [baseline]
+//! ```
+
+use lsgd_nn::{ComputeOpts, Layer, LayerCache, Network, StepCtx};
+use lsgd_tensor::{Matrix, SmallRng64};
+use std::time::Instant;
+
+fn time_network(name: &str, net: &Network, batch: usize, baseline: bool) {
+    let theta = net.init_params(1);
+    let mut rng = SmallRng64::new(2);
+    let x = Matrix::from_fn(batch, net.in_dim(), |_, _| rng.next_f32() - 0.5);
+    let y: Vec<u8> = (0..batch)
+        .map(|_| rng.next_below(net.n_classes()) as u8)
+        .collect();
+    let mut ws = net.workspace(batch);
+    if baseline {
+        ws.set_compute_opts(ComputeOpts::baseline());
+    }
+    let mut grad = vec![0.0f32; net.param_len()];
+    // Warm up.
+    for _ in 0..5 {
+        net.loss_grad(&theta, &x, &y, &mut grad, &mut ws);
+    }
+    let reps = 50;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        net.loss_grad(&theta, &x, &y, &mut grad, &mut ws);
+    }
+    let per = t0.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "{name} batch={batch} {}: loss_grad {:.3} ms",
+        if baseline { "baseline" } else { "fast" },
+        per * 1e3
+    );
+}
+
+/// Times one layer's forward and backward in isolation.
+fn time_layer(l: &dyn Layer, batch: usize, baseline: bool) {
+    let mut rng = SmallRng64::new(3);
+    let mut params = vec![0.0f32; l.param_len()];
+    for v in &mut params {
+        *v = rng.next_f32() - 0.5;
+    }
+    let x = Matrix::from_fn(batch, l.in_dim(), |_, _| rng.next_f32() - 0.5);
+    let dy = Matrix::from_fn(batch, l.out_dim(), |_, _| rng.next_f32() - 0.5);
+    let mut yv = Matrix::zeros(batch, l.out_dim());
+    let mut dx = Matrix::zeros(batch, l.in_dim());
+    let mut dp = vec![0.0f32; l.param_len()];
+    let mut cache = LayerCache::default();
+    let mut ctx = if baseline {
+        StepCtx {
+            use_panels: false,
+            threads: 1,
+            ..StepCtx::default()
+        }
+    } else {
+        StepCtx::default()
+    };
+    let reps = 100;
+    for _ in 0..5 {
+        ctx.panels.begin_step();
+        l.forward(&params, &x, &mut yv, &mut cache, &mut ctx);
+        l.backward(&params, &x, &yv, &dy, &mut cache, &mut ctx, &mut dp, &mut dx);
+    }
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        ctx.panels.begin_step();
+        l.forward(&params, &x, &mut yv, &mut cache, &mut ctx);
+    }
+    let fwd = t0.elapsed().as_secs_f64() / reps as f64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        l.backward(&params, &x, &yv, &dy, &mut cache, &mut ctx, &mut dp, &mut dx);
+    }
+    let bwd = t0.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "  {:<44} fwd {:>9.1} µs   bwd {:>9.1} µs",
+        l.describe(),
+        fwd * 1e6,
+        bwd * 1e6
+    );
+}
+
+fn main() {
+    let baseline = std::env::args().any(|a| a == "baseline");
+    let batch = 64;
+    println!("== per-layer (batch {batch}, {} path) ==", if baseline { "baseline" } else { "fast" });
+    use lsgd_nn::activation::Relu;
+    use lsgd_nn::conv::Conv2d;
+    use lsgd_nn::dense::Dense;
+    use lsgd_nn::pool::MaxPool2d;
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(1, 28, 28, 4, 3)),
+        Box::new(Relu::new(4 * 26 * 26)),
+        Box::new(MaxPool2d::new(4, 26, 26, 2)),
+        Box::new(Conv2d::new(4, 13, 13, 8, 3)),
+        Box::new(MaxPool2d::new(8, 11, 11, 2)),
+        Box::new(Dense::new(200, 128)),
+        Box::new(Dense::new(128, 10)),
+    ];
+    for l in &layers {
+        time_layer(l.as_ref(), batch, baseline);
+    }
+    time_network("cnn", &lsgd_nn::cnn_mnist(), 64, baseline);
+    time_network("mlp", &lsgd_nn::mlp_mnist(), 128, baseline);
+}

@@ -33,6 +33,8 @@ pub enum Algorithm {
         persistence: Option<u32>,
         /// Requested shard count `S` (clamped to `[1, d]`; overridable at
         /// runtime via `LSGD_SHARDS`, see [`crate::shard::effective_shards`]).
+        /// `0` selects the [`crate::shard::default_shards`] heuristic
+        /// from the problem dimension and worker count.
         shards: usize,
         /// Cross-shard read consistency for worker gradient reads.
         snapshot: SnapshotMode,
@@ -65,7 +67,12 @@ impl Algorithm {
                     None => "ps_inf".into(),
                     Some(tp) => format!("ps{tp}"),
                 };
-                format!("LSH_s{shards}_{ps}_{}", snapshot.label())
+                let s = if *shards == 0 {
+                    "auto".into()
+                } else {
+                    shards.to_string()
+                };
+                format!("LSH_s{s}_{ps}_{}", snapshot.label())
             }
         }
     }
@@ -175,6 +182,15 @@ mod tests {
             }
             .label(),
             "LSH_s64_ps_inf_fast"
+        );
+        assert_eq!(
+            Algorithm::ShardedLeashed {
+                persistence: None,
+                shards: 0,
+                snapshot: SnapshotMode::Fast,
+            }
+            .label(),
+            "LSH_sauto_ps_inf_fast"
         );
     }
 }

@@ -28,6 +28,16 @@ pub trait Problem: Send + Sync {
     /// Creates per-thread scratch.
     fn scratch(&self) -> Self::Scratch;
 
+    /// Creates per-thread scratch for a run with `workers` concurrent
+    /// gradient workers. Defaults to [`Problem::scratch`]; problems
+    /// whose scratch embeds intra-step parallelism (e.g. [`NnProblem`]'s
+    /// GEMM fan-out) override this to divide the machine between
+    /// workers instead of letting `m` workers oversubscribe the shared
+    /// pool.
+    fn scratch_for_workers(&self, _workers: usize) -> Self::Scratch {
+        self.scratch()
+    }
+
     /// Computes a stochastic minibatch gradient of the loss at `theta`
     /// into `grad` (overwriting it); returns the minibatch loss.
     fn grad(
@@ -65,6 +75,7 @@ pub struct NnProblem {
     data: Dataset,
     eval: Dataset,
     batch: usize,
+    compute: lsgd_nn::ComputeOpts,
 }
 
 /// Scratch for [`NnProblem`]: forward/backward workspace + batch buffers.
@@ -89,6 +100,29 @@ impl NnProblem {
             data,
             eval,
             batch,
+            compute: lsgd_nn::ComputeOpts::default(),
+        }
+    }
+
+    /// Selects the compute path applied to every worker workspace this
+    /// problem creates (panel caching / intra-step threading). The
+    /// default is the fast path; benchmarks pass
+    /// [`lsgd_nn::ComputeOpts::baseline`] to measure the pre-packing
+    /// reference. Gradients are bitwise identical either way.
+    pub fn with_compute_opts(mut self, opts: lsgd_nn::ComputeOpts) -> Self {
+        self.compute = opts;
+        self
+    }
+
+    /// Builds an [`NnScratch`] with explicit compute options.
+    fn scratch_with(&self, opts: lsgd_nn::ComputeOpts) -> NnScratch {
+        let max_batch = self.batch.max(self.eval.len());
+        let mut ws = self.net.workspace(max_batch);
+        ws.set_compute_opts(opts);
+        NnScratch {
+            ws,
+            x: Matrix::zeros(self.batch, self.data.dim()),
+            y: Vec::with_capacity(self.batch),
         }
     }
 
@@ -126,12 +160,23 @@ impl Problem for NnProblem {
     }
 
     fn scratch(&self) -> NnScratch {
-        let max_batch = self.batch.max(self.eval.len());
-        NnScratch {
-            ws: self.net.workspace(max_batch),
-            x: Matrix::zeros(self.batch, self.data.dim()),
-            y: Vec::with_capacity(self.batch),
+        self.scratch_with(self.compute.clone())
+    }
+
+    fn scratch_for_workers(&self, workers: usize) -> NnScratch {
+        let mut opts = self.compute.clone();
+        // With m trainer workers already occupying the cores, per-worker
+        // GEMM fan-out must not fight them for cycles (the paper's
+        // scalability measurements depend on workers being independent):
+        // give each worker its share of the machine, serial when the
+        // trainer alone saturates it. Explicit opts are respected.
+        if workers > 1 && opts.threads == usize::MAX && opts.pool.is_none() {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            opts.threads = (cores / workers).max(1);
         }
+        self.scratch_with(opts)
     }
 
     fn grad(

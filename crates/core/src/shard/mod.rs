@@ -51,15 +51,45 @@ mod snapshot;
 pub use sharded::{ShardedPublish, ShardedShared};
 pub use snapshot::{ShardedSnapshot, SnapshotMode};
 
-/// Resolves the shard count for a run: the `LSGD_SHARDS` environment
-/// variable when set to a positive integer, otherwise `configured`.
-/// (The constructor additionally clamps to `[1, dim]`.)
-pub fn effective_shards(configured: usize) -> usize {
+/// Minimum shard width (in parameters) the default heuristic aims for:
+/// below this, per-shard bookkeeping (seq number, head pointer, pool
+/// traffic) stops amortising over the copy it saves.
+const MIN_HEURISTIC_SHARD_WIDTH: usize = 1024;
+
+/// Default shard count for a `dim`-parameter vector published by
+/// `workers` concurrent writers, used when a run does not configure one
+/// explicitly (ROADMAP "adaptive shard-count selection").
+///
+/// Rationale: a publisher conflicts with another only when their dirty
+/// shard sets overlap, so we want several independent publication
+/// domains per concurrent publisher — 8·workers, rounded up to a power
+/// of two (which also keeps the fixed shard widths uniform). That target
+/// is then capped so shards stay at least [`MIN_HEURISTIC_SHARD_WIDTH`]
+/// wide: the PR 4 `paramvec_ops` sweep showed the sparse-publish win
+/// saturating around that width (S = 64 at the paper's `d = 134,794`),
+/// while narrower shards only add header/CAS overhead.
+pub fn default_shards(dim: usize, workers: usize) -> usize {
+    let target = (8 * workers.max(1)).next_power_of_two();
+    let max_by_width = (dim / MIN_HEURISTIC_SHARD_WIDTH).max(1);
+    target.clamp(1, max_by_width)
+}
+
+/// Resolves the shard count for a run, in priority order: the
+/// `LSGD_SHARDS` environment variable when set to a positive integer;
+/// the `configured` count when positive; otherwise the
+/// [`default_shards`] heuristic from the problem dimension and worker
+/// count (`configured == 0` means "auto"). The constructor additionally
+/// clamps to `[1, dim]`.
+pub fn effective_shards(configured: usize, dim: usize, workers: usize) -> usize {
     std::env::var("LSGD_SHARDS")
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&n: &usize| n > 0)
-        .unwrap_or(configured)
+        .unwrap_or(if configured > 0 {
+            configured
+        } else {
+            default_shards(dim, workers)
+        })
 }
 
 #[cfg(test)]
@@ -70,6 +100,34 @@ mod tests {
     fn effective_shards_defaults_to_configured() {
         // The test environment does not set LSGD_SHARDS; setting it from
         // inside tests would race with other tests in this binary.
-        assert_eq!(effective_shards(8), 8);
+        assert_eq!(effective_shards(8, 1_000_000, 4), 8);
+    }
+
+    #[test]
+    fn effective_shards_zero_means_auto() {
+        assert_eq!(
+            effective_shards(0, 134_794, 8),
+            default_shards(134_794, 8)
+        );
+    }
+
+    #[test]
+    fn default_shards_heuristic_shape() {
+        // Paper MLP dimension: the width cap (134,794 / 1024 = 131)
+        // leaves the 8-per-worker power-of-two target intact.
+        assert_eq!(default_shards(134_794, 1), 8);
+        assert_eq!(default_shards(134_794, 4), 32);
+        assert_eq!(default_shards(134_794, 8), 64);
+        // Paper CNN dimension (d = 27,354): capped by width to 26.
+        assert_eq!(default_shards(27_354, 8), 26);
+        // Tiny problems never shard.
+        assert_eq!(default_shards(100, 16), 1);
+        // Monotone in workers until the width cap bites.
+        let mut last = 0;
+        for w in 1..=32 {
+            let s = default_shards(1 << 20, w);
+            assert!(s >= last, "workers {w}: {s} < {last}");
+            last = s;
+        }
     }
 }

@@ -203,7 +203,9 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
     let gauge = Arc::new(MemoryGauge::new());
 
     let theta0 = problem.init_theta(cfg.seed);
-    let mut monitor_scratch = problem.scratch();
+    // The monitor evaluates concurrently with the workers, so it obeys
+    // the same fan-out budget they do.
+    let mut monitor_scratch = problem.scratch_for_workers(threads);
     let initial_loss = problem.eval_loss(&theta0, &mut monitor_scratch);
 
     let shared = match cfg.algorithm {
@@ -220,7 +222,9 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
         }
         Algorithm::ShardedLeashed { shards, .. } => SharedState::Sharded(ShardedShared::new(
             &theta0,
-            effective_shards(shards),
+            // `shards == 0` selects the dim/worker heuristic; LSGD_SHARDS
+            // still overrides either way.
+            effective_shards(shards, dim, threads),
             Arc::clone(&gauge),
             cfg.pool_recycling,
         )),
@@ -249,7 +253,7 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
             let control = &control;
             let cfg_ref = &*cfg;
             handles.push(scope.spawn(move || {
-                run_worker(problem, shared, control, cfg_ref, worker_id)
+                run_worker(problem, shared, control, cfg_ref, worker_id, threads)
             }));
         }
 
@@ -356,10 +360,14 @@ fn run_worker<P: Problem>(
     control: &Control,
     cfg: &TrainConfig,
     worker_id: usize,
+    nworkers: usize,
 ) -> WorkerStats {
     let dim = problem.dim();
     let mut stats = WorkerStats::new(cfg.staleness_cap);
-    let mut scratch = problem.scratch();
+    // Worker-count-aware scratch: problems with intra-step parallelism
+    // (NnProblem's GEMM fan-out) divide the machine among the m workers
+    // instead of each oversubscribing the shared pool.
+    let mut scratch = problem.scratch_for_workers(nworkers);
     let mut rng = SmallRng64::new(cfg.seed ^ (0x5bd1e995u64.wrapping_mul(worker_id as u64 + 1)));
     let mut grad = vec![0.0f32; dim];
     let vec_bytes = dim * std::mem::size_of::<f32>();

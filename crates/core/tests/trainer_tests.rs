@@ -382,6 +382,30 @@ fn sharded_leashed_converges_on_blobs_both_snapshot_modes() {
 }
 
 #[test]
+fn sharded_auto_shard_count_trains() {
+    // `shards: 0` delegates to the dim/worker heuristic
+    // (lsgd_core::shard::default_shards); the run must behave like any
+    // explicitly sharded run. blob dim is tiny, so the heuristic
+    // resolves to a single shard — the equivalence-critical floor case.
+    let p = blob_problem(27);
+    let r = train(
+        &p,
+        &quick_cfg(
+            Algorithm::ShardedLeashed {
+                persistence: Some(1),
+                shards: 0,
+                snapshot: SnapshotMode::Fast,
+            },
+            3,
+        ),
+    );
+    assert!(!r.crashed);
+    assert!(r.fully_converged(), "{}", r.summary());
+    let expected = lsgd_core::shard::default_shards(p.dim(), 3);
+    assert_eq!(r.dirty_shards.quantile(1.0), expected as u64);
+}
+
+#[test]
 fn sharded_trainer_exploits_sparse_logreg_gradients() {
     let data = lsgd_data::sparse_logreg::sparse_logreg(800, 2048, 12, 23);
     let p = SparseLogRegProblem::new(data, 16);

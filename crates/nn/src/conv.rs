@@ -9,10 +9,60 @@
 //! turns each sample into a `(out_h*out_w, in_c*k*k)` patch matrix so the
 //! convolution becomes one GEMM per sample — the same "many small GEMMs"
 //! cost profile the paper measures for its CNN (high `Tc`, low `Tu`).
+//!
+//! # The zero-realloc fast path
+//!
+//! The default execution path restructures that cost profile in three
+//! ways, all bitwise-neutral to the result:
+//!
+//! 1. **Fused lowering** — the forward pass never materialises the im2col
+//!    matrix. The GEMM's `B` operand is generated *directly in packed
+//!    panel layout* from the sample's feature map
+//!    ([`Conv2d::pack_patches`] plugged in as a [`BSource::Packer`]),
+//!    producing byte-identical panels to `im2col` + `pack_b` while
+//!    skipping one full write+strided-read pass over the lowered data.
+//! 2. **Prepacked filters** — the filter matrix `W` participates in every
+//!    per-sample product of the minibatch, in two orientations (as `A` in
+//!    the forward product, as `B` in the backward `dcols` product). Both
+//!    packings are produced once per SGD step via the worker's
+//!    [`PackedPanelCache`] and reused across all samples.
+//! 3. **Threaded sample loop** — per-sample work (lowering, GEMMs,
+//!    col2im) fans out over the tensor crate's worker pool in contiguous
+//!    sample ranges. Weight gradients are computed into per-sample slab
+//!    entries (`LayerCache::grad_slab`) and reduced in ascending sample
+//!    order afterwards, so the floating-point association — and thus
+//!    every output bit — matches the serial sweep.
+//!
+//! A serial, fresh-pack, materialised-im2col path is kept (reached when
+//! the [`StepCtx`] disables both panels and threading) as the benchmark
+//! *ablation* baseline; differential tests assert the two paths agree
+//! bitwise. Note the baseline is not a byte-faithful replica of the
+//! pre-PR code: its backward shares the per-sample-slab accumulation
+//! structure above (the bitwise-parity guarantee requires one shared
+//! association), so it isolates the cost of panels + fusion + threading
+//! specifically — comparisons against the true pre-PR tree are done from
+//! a clean git worktree (see the README performance section).
 
-use crate::layer::{Layer, LayerCache};
-use lsgd_tensor::gemm::{gemm_slices, Transpose};
-use lsgd_tensor::Matrix;
+use crate::layer::{Layer, LayerCache, RowsPtr, StepCtx};
+use lsgd_tensor::gemm::{gemm_flex, gemm_slices, ASource, BSource, Transpose};
+use lsgd_tensor::threadpool::split_ranges;
+use lsgd_tensor::{Matrix, PackedA, PackedB};
+use std::cell::RefCell;
+use std::ops::Range;
+
+/// Minimum per-call flop count (`2 · filters · patch · ohw · batch`)
+/// before the per-sample loop fans out across the worker pool; below it
+/// the dispatch overhead exceeds the win.
+const CONV_PAR_MIN_FLOPS: usize = 1 << 20;
+
+thread_local! {
+    /// Per-thread lowering scratch (`cols`, `dcols`) for the backward
+    /// sample loop: tasks run on pool worker threads, so per-thread reuse
+    /// makes the steady state allocation-free without sharing across
+    /// concurrently processed samples.
+    static LOWER_SCRATCH: RefCell<(Matrix, Matrix)> =
+        RefCell::new((Matrix::default(), Matrix::default()));
+}
 
 /// Convolutional layer: `filters` output channels, `k × k` kernels, valid
 /// padding, stride 1, bias per filter.
@@ -70,10 +120,29 @@ impl Conv2d {
 
     /// Lowers one sample (flattened NCHW row) into the im2col patch matrix
     /// `(out_h*out_w, in_c*k*k)`.
+    ///
+    /// Dispatches to a const-kernel-size body for the common sizes: with
+    /// `k` known at compile time the `k`-element row copies inline
+    /// (a runtime-length 12-byte `copy_from_slice` compiles to a
+    /// `memcpy` *call*, which dominated the lowering cost — ~0.5 ms per
+    /// CNN minibatch step before this dispatch). Values and order are
+    /// identical in every arm.
     fn im2col(&self, sample: &[f32], cols: &mut Matrix) {
-        let (oh, ow, k) = (self.out_h(), self.out_w(), self.k);
-        debug_assert_eq!(cols.rows(), oh * ow);
+        debug_assert_eq!(cols.rows(), self.out_h() * self.out_w());
         debug_assert_eq!(cols.cols(), self.patch_len());
+        match self.k {
+            1 => self.im2col_k::<1>(sample, cols),
+            3 => self.im2col_k::<3>(sample, cols),
+            5 => self.im2col_k::<5>(sample, cols),
+            _ => self.im2col_k::<0>(sample, cols),
+        }
+    }
+
+    /// `im2col` body; `K` is the compile-time kernel size (`0` = use the
+    /// runtime `self.k`).
+    fn im2col_k<const K: usize>(&self, sample: &[f32], cols: &mut Matrix) {
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let k = if K == 0 { self.k } else { K };
         let hw = self.in_h * self.in_w;
         for oy in 0..oh {
             for ox in 0..ow {
@@ -91,10 +160,90 @@ impl Conv2d {
         }
     }
 
+    /// Fused im2col→panel lowering: fills `dst` with exactly the packed
+    /// `B` block that `pack_b(im2col(sample)ᵀ block at (k0, j0))` would
+    /// produce — `⌈nc/NR⌉` micro-panels of `NR` output positions, laid
+    /// out k-major and zero-padded at the ragged edge — without ever
+    /// materialising the im2col matrix.
+    ///
+    /// Logical operand: `B[k][j] = sample[chan(k), (oy(j)+ky(k)) ·
+    /// in_w + ox(j)+kx(k)]` with `j` in output-raster order. For a fixed
+    /// patch coordinate `k`, consecutive output positions within one
+    /// output row map to *consecutive* input addresses, so each panel row
+    /// is assembled from at most `⌈NR/out_w⌉ + 1` contiguous copies.
+    fn pack_patches(
+        &self,
+        sample: &[f32],
+        dst: &mut [f32],
+        k0: usize,
+        j0: usize,
+        kc: usize,
+        nc: usize,
+    ) {
+        use lsgd_tensor::gemm::NR;
+        let (ow, kk) = (self.out_w(), self.k);
+        let hw = self.in_h * self.in_w;
+        let panels = nc.div_ceil(NR);
+        debug_assert!(dst.len() >= panels * NR * kc);
+        for p in 0..panels {
+            let jb = j0 + p * NR;
+            let cols = NR.min(j0 + nc - jb);
+            let panel = &mut dst[p * NR * kc..(p + 1) * NR * kc];
+            for (kr, chunk) in panel.chunks_exact_mut(NR).enumerate().take(kc) {
+                let pk = k0 + kr;
+                let c = pk / (kk * kk);
+                let rem = pk % (kk * kk);
+                let (ky, kx) = (rem / kk, rem % kk);
+                let base = c * hw + ky * self.in_w + kx;
+                let (oy0, ox0) = (jb / ow, jb % ow);
+                if cols == NR && ox0 + NR <= ow {
+                    // Whole panel row inside one output row: a single
+                    // const-length copy (the dominant case; a
+                    // runtime-length copy here compiles to a memcpy call
+                    // and throttles the fused lowering).
+                    let src = base + oy0 * self.in_w + ox0;
+                    let dst: &mut [f32; NR] = chunk.try_into().unwrap();
+                    let s: &[f32; NR] = sample[src..src + NR].try_into().unwrap();
+                    *dst = *s;
+                    continue;
+                }
+                // Ragged/wrapping panel row: copy contiguous output-row
+                // spans of input values.
+                let mut written = 0;
+                while written < cols {
+                    let j = jb + written;
+                    let (oy, ox) = (j / ow, j % ow);
+                    let span = (ow - ox).min(cols - written);
+                    let src = base + oy * self.in_w + ox;
+                    for (d, s) in chunk[written..written + span]
+                        .iter_mut()
+                        .zip(&sample[src..src + span])
+                    {
+                        *d = *s;
+                    }
+                    written += span;
+                }
+                chunk[cols..].iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+    }
+
     /// Scatter-adds a column-gradient matrix `(out_h*out_w, in_c*k*k)` back
-    /// into one sample's input gradient (col2im).
+    /// into one sample's input gradient (col2im). Const-kernel-size
+    /// dispatch for the same reason as [`Conv2d::im2col`].
     fn col2im_add(&self, dcols: &Matrix, dsample: &mut [f32]) {
-        let (oh, ow, k) = (self.out_h(), self.out_w(), self.k);
+        match self.k {
+            1 => self.col2im_add_k::<1>(dcols, dsample),
+            3 => self.col2im_add_k::<3>(dcols, dsample),
+            5 => self.col2im_add_k::<5>(dcols, dsample),
+            _ => self.col2im_add_k::<0>(dcols, dsample),
+        }
+    }
+
+    /// `col2im_add` body; `K` as in [`Conv2d::im2col_k`].
+    fn col2im_add_k<const K: usize>(&self, dcols: &Matrix, dsample: &mut [f32]) {
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let k = if K == 0 { self.k } else { K };
         let hw = self.in_h * self.in_w;
         for oy in 0..oh {
             for ox in 0..ow {
@@ -119,6 +268,141 @@ impl Conv2d {
     fn split<'a>(&self, params: &'a [f32]) -> (&'a [f32], &'a [f32]) {
         params.split_at(self.filters * self.patch_len())
     }
+
+    /// Whether a `batch`-sample pass is heavy enough to fan out.
+    #[inline]
+    fn parallel_worthwhile(&self, batch: usize) -> bool {
+        2 * self.filters * self.patch_len() * self.out_h() * self.out_w() * batch
+            >= CONV_PAR_MIN_FLOPS
+    }
+
+    /// Runs `work` over `0..batch` split into at most `threads` contiguous
+    /// ranges — on the pool when that is more than one range, inline
+    /// otherwise. `work` must touch only sample-disjoint state.
+    fn for_sample_ranges(
+        pool: &lsgd_tensor::threadpool::ThreadPool,
+        threads: usize,
+        batch: usize,
+        work: &(dyn Fn(Range<usize>) + Sync),
+    ) {
+        let ranges = split_ranges(batch, threads);
+        if ranges.len() <= 1 {
+            work(0..batch);
+        } else {
+            pool.parallel_for(ranges.len(), &|t| work(ranges[t].clone()));
+        }
+    }
+
+    /// One sample's forward product + bias: `out_row = W · colsᵀ + b`,
+    /// with `colsᵀ` generated in packed layout straight from the sample.
+    fn forward_sample(
+        &self,
+        w: &[f32],
+        pa: Option<&PackedA>,
+        bias: &[f32],
+        sample: &[f32],
+        out_row: &mut [f32],
+    ) {
+        let ohw = self.out_h() * self.out_w();
+        let patch = self.patch_len();
+        let packer = |dst: &mut [f32], k0: usize, j0: usize, kc: usize, nc: usize| {
+            self.pack_patches(sample, dst, k0, j0, kc, nc);
+        };
+        let bsrc = BSource::Packer {
+            pack: &packer,
+            shape: (patch, ohw),
+        };
+        let asrc = match pa {
+            Some(pa) => ASource::Prepacked(pa),
+            None => ASource::Slices {
+                a: w,
+                shape: (self.filters, patch),
+                trans: Transpose::No,
+            },
+        };
+        gemm_flex(1.0, &asrc, &bsrc, 0.0, out_row, (self.filters, ohw));
+        for f in 0..self.filters {
+            let b = bias[f];
+            for v in &mut out_row[f * ohw..(f + 1) * ohw] {
+                *v += b;
+            }
+        }
+    }
+
+    /// One sample's backward work: `dcols = dYᵀ·W` → col2im into the
+    /// sample's input-gradient row, and `(dW_s | db_s)` into its slab
+    /// entry (`beta = 0` products; the caller reduces slabs in sample
+    /// order, which reproduces the serial accumulation bit-for-bit).
+    #[allow(clippy::too_many_arguments)]
+    fn backward_sample(
+        &self,
+        w: &[f32],
+        pb: Option<&PackedB>,
+        dy: &[f32],
+        sample: &[f32],
+        gi_row: &mut [f32],
+        slab_row: &mut [f32],
+        cols: &mut Matrix,
+        dcols: &mut Matrix,
+    ) {
+        let ohw = self.out_h() * self.out_w();
+        let patch = self.patch_len();
+        // dcols = dYᵀ (ohw, filters) · W (filters, patch); fully
+        // overwritten (beta = 0), so no zero-fill of the scratch.
+        dcols.resize_for_overwrite(ohw, patch);
+        let asrc = ASource::Slices {
+            a: dy,
+            shape: (self.filters, ohw),
+            trans: Transpose::Yes,
+        };
+        match pb {
+            Some(pb) => gemm_flex(
+                1.0,
+                &asrc,
+                &BSource::Prepacked(pb),
+                0.0,
+                dcols.as_mut_slice(),
+                (ohw, patch),
+            ),
+            None => gemm_slices(
+                1.0,
+                dy,
+                (self.filters, ohw),
+                Transpose::Yes,
+                w,
+                (self.filters, patch),
+                Transpose::No,
+                0.0,
+                dcols.as_mut_slice(),
+                (ohw, patch),
+            ),
+        }
+        self.col2im_add(dcols, gi_row);
+
+        // dW_s = dY (filters, ohw) · cols (ohw, patch). With the paper
+        // CNN's filter counts this sits below gemm's small-m cutoff and
+        // streams the materialised cols on the naive path — which is why
+        // the lowering is still materialised here (the forward pass is
+        // not).
+        cols.resize_for_overwrite(ohw, patch);
+        self.im2col(sample, cols);
+        let (dw_s, db_s) = slab_row.split_at_mut(self.filters * patch);
+        gemm_slices(
+            1.0,
+            dy,
+            (self.filters, ohw),
+            Transpose::No,
+            cols.as_slice(),
+            (ohw, patch),
+            Transpose::No,
+            0.0,
+            dw_s,
+            (self.filters, patch),
+        );
+        for f in 0..self.filters {
+            db_s[f] = dy[f * ohw..(f + 1) * ohw].iter().sum::<f32>();
+        }
+    }
 }
 
 impl Layer for Conv2d {
@@ -138,36 +422,72 @@ impl Layer for Conv2d {
         self.filters * self.patch_len() + self.filters
     }
 
-    fn forward(&self, params: &[f32], input: &Matrix, output: &mut Matrix, cache: &mut LayerCache) {
+    fn forward(
+        &self,
+        params: &[f32],
+        input: &Matrix,
+        output: &mut Matrix,
+        cache: &mut LayerCache,
+        ctx: &mut StepCtx,
+    ) {
         let batch = input.rows();
         let (w, b) = self.split(params);
         let (oh, ow) = (self.out_h(), self.out_w());
         let ohw = oh * ow;
-        if cache.im2col.rows() != ohw || cache.im2col.cols() != self.patch_len() {
-            cache.im2col.resize_zeroed(ohw, self.patch_len());
-        }
-        for s in 0..batch {
-            self.im2col(input.row(s), &mut cache.im2col);
-            // out_sample (filters, ohw) = W (filters, patch) x colsᵀ (patch, ohw)
-            let out_row = output.row_mut(s);
-            gemm_slices(
-                1.0,
-                w,
-                (self.filters, self.patch_len()),
-                Transpose::No,
-                cache.im2col.as_slice(),
-                (ohw, self.patch_len()),
-                Transpose::Yes,
-                0.0,
-                out_row,
-                (self.filters, ohw),
-            );
-            for f in 0..self.filters {
-                let bias = b[f];
-                for v in &mut out_row[f * ohw..(f + 1) * ohw] {
-                    *v += bias;
+        let patch = self.patch_len();
+        let (panels, use_panels, pool, threads) = ctx.split();
+        let par = threads.min(batch) > 1 && self.parallel_worthwhile(batch);
+
+        if !use_panels && !par {
+            // Baseline path (benchmark reference): materialised im2col +
+            // fresh-pack GEMM, serial. Bitwise identical to the fast path
+            // below — the fused packer generates the same panels `pack_b`
+            // derives from this matrix.
+            if cache.im2col.rows() != ohw || cache.im2col.cols() != patch {
+                cache.im2col.resize_zeroed(ohw, patch);
+            }
+            for s in 0..batch {
+                self.im2col(input.row(s), &mut cache.im2col);
+                // out_sample (filters, ohw) = W (filters, patch) x colsᵀ
+                let out_row = output.row_mut(s);
+                gemm_slices(
+                    1.0,
+                    w,
+                    (self.filters, patch),
+                    Transpose::No,
+                    cache.im2col.as_slice(),
+                    (ohw, patch),
+                    Transpose::Yes,
+                    0.0,
+                    out_row,
+                    (self.filters, ohw),
+                );
+                for f in 0..self.filters {
+                    let bias = b[f];
+                    for v in &mut out_row[f * ohw..(f + 1) * ohw] {
+                        *v += bias;
+                    }
                 }
             }
+            return;
+        }
+
+        // Fast path: filters prepacked once per step, fused lowering, and
+        // (when worthwhile) the sample loop split across the pool.
+        let pa = use_panels.then(|| panels.get_a(w, (self.filters, patch), Transpose::No));
+        let out = RowsPtr::of(output);
+        let work = |range: Range<usize>| {
+            for s in range {
+                // SAFETY: ranges are disjoint, tasks are joined before
+                // `output`'s borrow ends (RowsPtr contract).
+                let out_row = unsafe { out.row(s) };
+                self.forward_sample(w, pa, b, input.row(s), out_row);
+            }
+        };
+        if par {
+            Self::for_sample_ranges(pool, threads, batch, &work);
+        } else {
+            work(0..batch);
         }
     }
 
@@ -177,65 +497,70 @@ impl Layer for Conv2d {
         input: &Matrix,
         _output: &Matrix,
         grad_out: &Matrix,
-        _cache: &LayerCache,
+        cache: &mut LayerCache,
+        ctx: &mut StepCtx,
         grad_params: &mut [f32],
         grad_in: &mut Matrix,
     ) {
         let batch = input.rows();
         let (w, _) = self.split(params);
-        let (oh, ow) = (self.out_h(), self.out_w());
-        let ohw = oh * ow;
         let patch = self.patch_len();
+        let pl = self.param_len();
 
-        grad_params.iter_mut().for_each(|v| *v = 0.0);
         grad_in.fill_zero();
-        let (dw, db) = grad_params.split_at_mut(self.filters * patch);
+        let (panels, use_panels, pool, threads) = ctx.split();
+        let par = threads.min(batch) > 1 && self.parallel_worthwhile(batch);
 
-        // The forward cache's im2col content corresponds to the *last*
-        // sample only, so re-lower each sample here. Scratch matrices are
-        // local to avoid aliasing the shared cache.
-        let mut cols = Matrix::zeros(ohw, patch);
-        let mut dcols = Matrix::zeros(ohw, patch);
+        // Per-sample gradients land in the slab (fully overwritten per
+        // sample — no zero-fill) and are reduced in ascending sample
+        // order below, which is the serial association exactly.
+        cache.grad_slab.resize(batch * pl, 0.0);
+        // Prepacked W is only usable where the fresh-operand path would
+        // also take the packed kernel (m = out_h·out_w rows in the dcols
+        // product); tiny outputs prefer the streaming naive kernel, and
+        // matching that policy keeps the paths bitwise identical.
+        let use_pb = use_panels
+            && !lsgd_tensor::gemm::small_m_prefers_naive(
+                self.out_h() * self.out_w(),
+                Transpose::No,
+            );
+        let pb = use_pb.then(|| panels.get_b(w, (self.filters, patch), Transpose::No));
+        let gi = RowsPtr::of(grad_in);
+        let slab = RowsPtr::of_slab(&mut cache.grad_slab, pl);
+        let work = |range: Range<usize>| {
+            LOWER_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                let (ref mut cols, ref mut dcols) = *scratch;
+                for s in range {
+                    // SAFETY: disjoint rows per task, joined before the
+                    // borrows of `grad_in` / `grad_slab` end.
+                    let (gi_row, slab_row) = unsafe { (gi.row(s), slab.row(s)) };
+                    self.backward_sample(
+                        w,
+                        pb,
+                        grad_out.row(s),
+                        input.row(s),
+                        gi_row,
+                        slab_row,
+                        cols,
+                        dcols,
+                    );
+                }
+            });
+        };
+        if par {
+            Self::for_sample_ranges(pool, threads, batch, &work);
+        } else {
+            work(0..batch);
+        }
+
+        // Ordered reduction: grad_params = Σ_s slab[s], s ascending.
+        grad_params.iter_mut().for_each(|v| *v = 0.0);
         for s in 0..batch {
-            self.im2col(input.row(s), &mut cols);
-            let dy = grad_out.row(s); // (filters, ohw) flattened
-
-            // dW += dY (filters, ohw) · cols (ohw, patch)
-            // Per-sample products with `filters` output rows: below
-            // gemm's small-m cutoff (the paper CNN's 4-filter conv) they
-            // stay on the streaming naive path, where such shapes are
-            // fastest; at or above it (the 8-filter conv) the packed
-            // kernel takes over at parity or better.
-            gemm_slices(
-                1.0,
-                dy,
-                (self.filters, ohw),
-                Transpose::No,
-                cols.as_slice(),
-                (ohw, patch),
-                Transpose::No,
-                1.0,
-                dw,
-                (self.filters, patch),
-            );
-            // db[f] += sum of dY over spatial positions.
-            for f in 0..self.filters {
-                db[f] += dy[f * ohw..(f + 1) * ohw].iter().sum::<f32>();
+            let row = &cache.grad_slab[s * pl..(s + 1) * pl];
+            for (g, &r) in grad_params.iter_mut().zip(row) {
+                *g += r;
             }
-            // dcols = dYᵀ (ohw, filters) · W (filters, patch)
-            gemm_slices(
-                1.0,
-                dy,
-                (self.filters, ohw),
-                Transpose::Yes,
-                w,
-                (self.filters, patch),
-                Transpose::No,
-                0.0,
-                dcols.as_mut_slice(),
-                (ohw, patch),
-            );
-            self.col2im_add(&dcols, grad_in.row_mut(s));
         }
     }
 
@@ -302,7 +627,13 @@ mod tests {
         let params: Vec<f32> = (0..l.param_len()).map(|_| rng.next_f32() - 0.5).collect();
         let x = Matrix::from_fn(2, l.in_dim(), |_, _| rng.next_f32() - 0.5);
         let mut y = Matrix::zeros(2, l.out_dim());
-        l.forward(&params, &x, &mut y, &mut LayerCache::default());
+        l.forward(
+            &params,
+            &x,
+            &mut y,
+            &mut LayerCache::default(),
+            &mut StepCtx::default(),
+        );
         for s in 0..2 {
             let want = conv_ref(&l, &params, x.row(s));
             for (a, b) in y.row(s).iter().zip(&want) {
@@ -312,13 +643,102 @@ mod tests {
     }
 
     #[test]
+    fn fused_packer_matches_materialized_im2col_panels() {
+        use lsgd_tensor::gemm::NR;
+        use lsgd_tensor::pack::pack_b;
+        // Irregular geometry: 2 channels, non-square input, ow < NR so
+        // panel rows straddle output-row boundaries.
+        let l = Conv2d::new(2, 7, 6, 3, 3);
+        let mut rng = lsgd_tensor::SmallRng64::new(9);
+        let sample: Vec<f32> = (0..l.in_dim()).map(|_| rng.next_f32() - 0.5).collect();
+        let (ohw, patch) = (l.out_h() * l.out_w(), l.patch_len());
+        let mut cols = Matrix::zeros(ohw, patch);
+        l.im2col(&sample, &mut cols);
+        for (k0, j0, kc, nc) in [
+            (0, 0, patch, ohw),
+            (1, 0, patch - 1, ohw),
+            (0, NR, 3, ohw - NR),
+            (2, NR + 1, patch - 2, 5),
+        ] {
+            let len = nc.div_ceil(NR) * NR * kc;
+            let mut want = vec![f32::NAN; len];
+            pack_b(&mut want, cols.as_slice(), patch, true, k0, j0, kc, nc);
+            let mut got = vec![f32::NAN; len];
+            l.pack_patches(&sample, &mut got, k0, j0, kc, nc);
+            assert_eq!(got, want, "block k0={k0} j0={j0} kc={kc} nc={nc}");
+        }
+    }
+
+    #[test]
+    fn fast_and_baseline_paths_agree_bitwise() {
+        let l = Conv2d::new(2, 9, 8, 4, 3);
+        let batch = 5;
+        let mut rng = lsgd_tensor::SmallRng64::new(11);
+        let params: Vec<f32> = (0..l.param_len()).map(|_| rng.next_f32() - 0.5).collect();
+        let x = Matrix::from_fn(batch, l.in_dim(), |_, _| rng.next_f32() - 0.5);
+        let dy = Matrix::from_fn(batch, l.out_dim(), |_, _| rng.next_f32() - 0.5);
+
+        let mut baseline_ctx = StepCtx {
+            use_panels: false,
+            threads: 1,
+            ..StepCtx::default()
+        };
+        let mut fast_ctx = StepCtx::default();
+        fast_ctx.panels.begin_step();
+
+        let mut y_base = Matrix::zeros(batch, l.out_dim());
+        let mut y_fast = Matrix::zeros(batch, l.out_dim());
+        l.forward(&params, &x, &mut y_base, &mut LayerCache::default(), &mut baseline_ctx);
+        l.forward(&params, &x, &mut y_fast, &mut LayerCache::default(), &mut fast_ctx);
+        assert!(
+            y_base
+                .as_slice()
+                .iter()
+                .zip(y_fast.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "fused forward diverged from baseline"
+        );
+
+        let mut dp_base = vec![0.0f32; l.param_len()];
+        let mut dp_fast = vec![0.0f32; l.param_len()];
+        let mut dx_base = Matrix::zeros(batch, l.in_dim());
+        let mut dx_fast = Matrix::zeros(batch, l.in_dim());
+        l.backward(
+            &params, &x, &y_base, &dy, &mut LayerCache::default(), &mut baseline_ctx,
+            &mut dp_base, &mut dx_base,
+        );
+        l.backward(
+            &params, &x, &y_fast, &dy, &mut LayerCache::default(), &mut fast_ctx,
+            &mut dp_fast, &mut dx_fast,
+        );
+        assert!(
+            dp_base.iter().zip(&dp_fast).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "param gradient diverged"
+        );
+        assert!(
+            dx_base
+                .as_slice()
+                .iter()
+                .zip(dx_fast.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "input gradient diverged"
+        );
+    }
+
+    #[test]
     fn identity_kernel_recovers_input_patch() {
         // Single 1x1 filter with weight 1, bias 0 → output == input.
         let l = Conv2d::new(1, 4, 4, 1, 1);
         let params = vec![1.0, 0.0];
         let x = Matrix::from_fn(1, 16, |_, c| c as f32);
         let mut y = Matrix::zeros(1, 16);
-        l.forward(&params, &x, &mut y, &mut LayerCache::default());
+        l.forward(
+            &params,
+            &x,
+            &mut y,
+            &mut LayerCache::default(),
+            &mut StepCtx::default(),
+        );
         assert_eq!(x.as_slice(), y.as_slice());
     }
 
@@ -330,7 +750,13 @@ mod tests {
         params[l.filters * l.patch_len() + 1] = -2.5; // bias of filter 1
         let x = Matrix::zeros(1, 25);
         let mut y = Matrix::zeros(1, l.out_dim());
-        l.forward(&params, &x, &mut y, &mut LayerCache::default());
+        l.forward(
+            &params,
+            &x,
+            &mut y,
+            &mut LayerCache::default(),
+            &mut StepCtx::default(),
+        );
         let ohw = 9;
         assert!(y.row(0)[..ohw].iter().all(|&v| v == 1.5));
         assert!(y.row(0)[ohw..].iter().all(|&v| v == -2.5));
@@ -345,7 +771,16 @@ mod tests {
         let dy = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
         let mut dp = vec![0.0f32; l.param_len()];
         let mut dx = Matrix::zeros(1, 16);
-        l.backward(&params, &x, &y, &dy, &LayerCache::default(), &mut dp, &mut dx);
+        l.backward(
+            &params,
+            &x,
+            &y,
+            &dy,
+            &mut LayerCache::default(),
+            &mut StepCtx::default(),
+            &mut dp,
+            &mut dx,
+        );
         assert_eq!(dp[l.param_len() - 1], 10.0);
     }
 }

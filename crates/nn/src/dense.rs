@@ -3,9 +3,21 @@
 //! Implements the MLP building block of the paper's Appendix:
 //! `o(l) = x · Wᵀ + b` with `W : (out, in)` and `b : (out)` taken from the
 //! flat parameter slice as `[W row-major | b]`.
+//!
+//! The weight matrix participates in two of the three GEMMs a training
+//! step issues — forward `Y = X·Wᵀ` and backward `dX = dY·W` — in two
+//! different pack orientations. Both packings are served from the
+//! per-step [`PackedPanelCache`] (packed on first touch, reused by the
+//! other pass), and the large batch-dimension products run on the worker
+//! pool via the parallel kernels, whose results are bitwise identical to
+//! the serial ones. `dW = dYᵀ·X` involves only per-batch operands, so it
+//! packs fresh (but also fans out across the pool).
 
-use crate::layer::{Layer, LayerCache};
-use lsgd_tensor::gemm::{gemm_slices, Transpose};
+use crate::layer::{Layer, LayerCache, StepCtx};
+use lsgd_tensor::gemm::{
+    gemm_flex, gemm_flex_parallel_in, gemm_slices, gemm_slices_parallel_in,
+    small_m_prefers_naive, ASource, BSource, Transpose,
+};
 use lsgd_tensor::Matrix;
 
 /// Fully-connected layer `y = x Wᵀ + b`.
@@ -58,23 +70,58 @@ impl Layer for Dense {
         input: &Matrix,
         output: &mut Matrix,
         _cache: &mut LayerCache,
+        ctx: &mut StepCtx,
     ) {
         debug_assert_eq!(input.cols(), self.in_dim);
         let batch = input.rows();
         let (w, b) = self.split(params);
+        let w_shape = (self.out_dim, self.in_dim);
+        let (panels, use_panels, pool, threads) = ctx.split();
         // Y = X · Wᵀ   (batch,in) x (out,in)ᵀ -> (batch,out)
-        gemm_slices(
-            1.0,
-            input.as_slice(),
-            (batch, self.in_dim),
-            Transpose::No,
-            w,
-            (self.out_dim, self.in_dim),
-            Transpose::Yes,
-            0.0,
-            output.as_mut_slice(),
-            (batch, self.out_dim),
-        );
+        // `tb = Yes` always takes the packed kernel, so the prepacked
+        // orientation of W is usable at every batch size.
+        if use_panels {
+            let pb = panels.get_b(w, w_shape, Transpose::Yes);
+            let asrc = ASource::Slices {
+                a: input.as_slice(),
+                shape: (batch, self.in_dim),
+                trans: Transpose::No,
+            };
+            let bsrc = BSource::Prepacked(pb);
+            let c_shape = (batch, self.out_dim);
+            if threads > 1 {
+                gemm_flex_parallel_in(pool, 1.0, &asrc, &bsrc, 0.0, output.as_mut_slice(), c_shape);
+            } else {
+                gemm_flex(1.0, &asrc, &bsrc, 0.0, output.as_mut_slice(), c_shape);
+            }
+        } else if threads > 1 {
+            gemm_slices_parallel_in(
+                pool,
+                1.0,
+                input.as_slice(),
+                (batch, self.in_dim),
+                Transpose::No,
+                w,
+                w_shape,
+                Transpose::Yes,
+                0.0,
+                output.as_mut_slice(),
+                (batch, self.out_dim),
+            );
+        } else {
+            gemm_slices(
+                1.0,
+                input.as_slice(),
+                (batch, self.in_dim),
+                Transpose::No,
+                w,
+                w_shape,
+                Transpose::Yes,
+                0.0,
+                output.as_mut_slice(),
+                (batch, self.out_dim),
+            );
+        }
         // += bias, broadcast over rows.
         for r in 0..batch {
             let row = output.row_mut(r);
@@ -90,30 +137,51 @@ impl Layer for Dense {
         input: &Matrix,
         _output: &Matrix,
         grad_out: &Matrix,
-        _cache: &LayerCache,
+        _cache: &mut LayerCache,
+        ctx: &mut StepCtx,
         grad_params: &mut [f32],
         grad_in: &mut Matrix,
     ) {
         let batch = input.rows();
         let (w, _) = self.split(params);
+        let w_shape = (self.out_dim, self.in_dim);
         let (dw, db) = self.split_mut(grad_params);
+        let (panels, use_panels, pool, threads) = ctx.split();
 
         // dW = dYᵀ · X   (out,batch) x (batch,in) -> (out,in)
         // `tn` rides the packed kernel via A-panel packing — no
         // transposed copy of dY is materialised and no scalar fallback
         // runs (this product dominated Tc before the packed kernel).
-        gemm_slices(
-            1.0,
-            grad_out.as_slice(),
-            (batch, self.out_dim),
-            Transpose::Yes,
-            input.as_slice(),
-            (batch, self.in_dim),
-            Transpose::No,
-            0.0,
-            dw,
-            (self.out_dim, self.in_dim),
-        );
+        // Both operands are fresh per step, so nothing to prepack; the
+        // parallel kernel is bitwise identical to the serial one.
+        if threads > 1 {
+            gemm_slices_parallel_in(
+                pool,
+                1.0,
+                grad_out.as_slice(),
+                (batch, self.out_dim),
+                Transpose::Yes,
+                input.as_slice(),
+                (batch, self.in_dim),
+                Transpose::No,
+                0.0,
+                dw,
+                w_shape,
+            );
+        } else {
+            gemm_slices(
+                1.0,
+                grad_out.as_slice(),
+                (batch, self.out_dim),
+                Transpose::Yes,
+                input.as_slice(),
+                (batch, self.in_dim),
+                Transpose::No,
+                0.0,
+                dw,
+                w_shape,
+            );
+        }
         // db = column sums of dY.
         db.iter_mut().for_each(|v| *v = 0.0);
         for r in 0..batch {
@@ -123,18 +191,51 @@ impl Layer for Dense {
             }
         }
         // dX = dY · W   (batch,out) x (out,in) -> (batch,in)
-        gemm_slices(
-            1.0,
-            grad_out.as_slice(),
-            (batch, self.out_dim),
-            Transpose::No,
-            w,
-            (self.out_dim, self.in_dim),
-            Transpose::No,
-            0.0,
-            grad_in.as_mut_slice(),
-            (batch, self.in_dim),
-        );
+        // Tiny batches prefer the streaming naive kernel; matching that
+        // policy here (instead of forcing the prepacked packed kernel)
+        // keeps results bitwise identical to the fresh-operand path.
+        if use_panels && !small_m_prefers_naive(batch, Transpose::No) {
+            let pb = panels.get_b(w, w_shape, Transpose::No);
+            let asrc = ASource::Slices {
+                a: grad_out.as_slice(),
+                shape: (batch, self.out_dim),
+                trans: Transpose::No,
+            };
+            let bsrc = BSource::Prepacked(pb);
+            let c_shape = (batch, self.in_dim);
+            if threads > 1 {
+                gemm_flex_parallel_in(pool, 1.0, &asrc, &bsrc, 0.0, grad_in.as_mut_slice(), c_shape);
+            } else {
+                gemm_flex(1.0, &asrc, &bsrc, 0.0, grad_in.as_mut_slice(), c_shape);
+            }
+        } else if threads > 1 {
+            gemm_slices_parallel_in(
+                pool,
+                1.0,
+                grad_out.as_slice(),
+                (batch, self.out_dim),
+                Transpose::No,
+                w,
+                w_shape,
+                Transpose::No,
+                0.0,
+                grad_in.as_mut_slice(),
+                (batch, self.in_dim),
+            );
+        } else {
+            gemm_slices(
+                1.0,
+                grad_out.as_slice(),
+                (batch, self.out_dim),
+                Transpose::No,
+                w,
+                w_shape,
+                Transpose::No,
+                0.0,
+                grad_in.as_mut_slice(),
+                (batch, self.in_dim),
+            );
+        }
     }
 }
 
@@ -157,7 +258,7 @@ mod tests {
         let x = Matrix::from_vec(2, 2, vec![1.0, 1.0, 0.5, -1.0]);
         let mut y = Matrix::zeros(2, 1);
         let mut cache = LayerCache::default();
-        l.forward(&params, &x, &mut y, &mut cache);
+        l.forward(&params, &x, &mut y, &mut cache, &mut StepCtx::default());
         assert!((y.get(0, 0) - 6.0).abs() < 1e-6);
         assert!((y.get(1, 0) - (-1.0)).abs() < 1e-6);
     }
@@ -168,7 +269,13 @@ mod tests {
         let params = vec![0.0, 0.0, 0.0, 10.0, 20.0, 30.0]; // zero W, bias only
         let x = Matrix::zeros(4, 1);
         let mut y = Matrix::zeros(4, 3);
-        l.forward(&params, &x, &mut y, &mut LayerCache::default());
+        l.forward(
+            &params,
+            &x,
+            &mut y,
+            &mut LayerCache::default(),
+            &mut StepCtx::default(),
+        );
         for r in 0..4 {
             assert_eq!(y.row(r), &[10.0, 20.0, 30.0]);
         }
@@ -183,16 +290,56 @@ mod tests {
         let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let mut y = Matrix::zeros(2, 2);
         let mut cache = LayerCache::default();
-        l.forward(&params, &x, &mut y, &mut cache);
+        let mut ctx = StepCtx::default();
+        l.forward(&params, &x, &mut y, &mut cache, &mut ctx);
         let dy = Matrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
         let mut dp = vec![0.0f32; l.param_len()];
         let mut dx = Matrix::zeros(2, 3);
-        l.backward(&params, &x, &y, &dy, &cache, &mut dp, &mut dx);
+        l.backward(&params, &x, &y, &dy, &mut cache, &mut ctx, &mut dp, &mut dx);
         // bias gradient = column sums of dy = [2, 0]
         assert_eq!(&dp[6..], &[2.0, 0.0]);
         // dW row 0 = sum over batch of x rows = [5, 7, 9]; row 1 = zeros
         assert_eq!(&dp[0..3], &[5.0, 7.0, 9.0]);
         assert_eq!(&dp[3..6], &[0.0, 0.0, 0.0]);
+    }
+
+    /// Prepacked/parallel and fresh-pack/serial dense paths must agree
+    /// bitwise (the same invariant the tensor-level differential suite
+    /// checks, asserted here through the layer API).
+    #[test]
+    fn panel_cache_and_parallel_paths_agree_bitwise() {
+        use lsgd_tensor::threadpool::ThreadPool;
+        use std::sync::Arc;
+        let l = Dense::new(37, 19);
+        let batch = 24;
+        let mut rng = lsgd_tensor::SmallRng64::new(5);
+        let params: Vec<f32> = (0..l.param_len()).map(|_| rng.next_f32() - 0.5).collect();
+        let x = Matrix::from_fn(batch, 37, |_, _| rng.next_f32() - 0.5);
+        let dy = Matrix::from_fn(batch, 19, |_, _| rng.next_f32() - 0.5);
+
+        let mut results: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = Vec::new();
+        for (use_panels, threads) in [(false, 1usize), (true, 1), (true, 4), (false, 4)] {
+            let mut ctx = StepCtx {
+                use_panels,
+                threads,
+                pool: Some(Arc::new(ThreadPool::new(threads))),
+                ..StepCtx::default()
+            };
+            ctx.panels.begin_step();
+            let mut cache = LayerCache::default();
+            let mut y = Matrix::zeros(batch, 19);
+            l.forward(&params, &x, &mut y, &mut cache, &mut ctx);
+            let mut dp = vec![0.0f32; l.param_len()];
+            let mut dx = Matrix::zeros(batch, 37);
+            l.backward(&params, &x, &y, &dy, &mut cache, &mut ctx, &mut dp, &mut dx);
+            results.push((y.as_slice().to_vec(), dp, dx.as_slice().to_vec()));
+        }
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for (i, r) in results.iter().enumerate().skip(1) {
+            assert_eq!(bits(&results[0].0), bits(&r.0), "forward mode {i}");
+            assert_eq!(bits(&results[0].1), bits(&r.1), "dparams mode {i}");
+            assert_eq!(bits(&results[0].2), bits(&r.2), "dx mode {i}");
+        }
     }
 
     #[test]

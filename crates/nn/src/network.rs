@@ -11,11 +11,53 @@
 //! ping-pong buffers, layer caches) so `m` concurrent workers share the
 //! immutable `Network` and nothing else.
 
-use crate::layer::{Layer, LayerCache};
+use crate::layer::{Layer, LayerCache, StepCtx};
 use crate::loss;
+use lsgd_tensor::threadpool::ThreadPool;
 use lsgd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Compute-path configuration for a [`Workspace`].
+///
+/// The default is the fast path: per-step prepacked weight panels and as
+/// much intra-step parallelism as the worker pool provides.
+/// [`ComputeOpts::baseline`] reproduces the pre-optimisation behaviour
+/// (fresh packing per GEMM, fully serial layers) and is kept as the
+/// benchmark reference; both paths produce bitwise-identical gradients.
+#[derive(Clone)]
+pub struct ComputeOpts {
+    /// Cache packed weight panels across the GEMMs of one SGD step.
+    pub panel_cache: bool,
+    /// Upper bound on intra-step worker threads (`usize::MAX` = pool
+    /// size, `1` = serial).
+    pub threads: usize,
+    /// Worker-pool override (`None` = the process-global GEMM pool).
+    pub pool: Option<Arc<ThreadPool>>,
+}
+
+impl Default for ComputeOpts {
+    fn default() -> Self {
+        ComputeOpts {
+            panel_cache: true,
+            threads: usize::MAX,
+            pool: None,
+        }
+    }
+}
+
+impl ComputeOpts {
+    /// The pre-optimisation reference path: no panel reuse, no intra-step
+    /// threading.
+    pub fn baseline() -> Self {
+        ComputeOpts {
+            panel_cache: false,
+            threads: 1,
+            pool: None,
+        }
+    }
+}
 
 /// An immutable sequence of layers with precomputed parameter offsets.
 pub struct Network {
@@ -120,6 +162,7 @@ impl Network {
             grad_a: Matrix::zeros(max_batch, widest),
             grad_b: Matrix::zeros(max_batch, widest),
             caches: self.layers.iter().map(|_| LayerCache::default()).collect(),
+            ctx: StepCtx::default(),
             max_batch,
         }
     }
@@ -137,26 +180,33 @@ impl Network {
 
     /// Forward pass that only populates the workspace (no borrow of the
     /// result), letting callers split field borrows afterwards.
+    ///
+    /// Starts a new panel-cache step: `theta` is treated as one parameter
+    /// version for this forward pass and any backward pass that follows
+    /// before the next `forward_fill`.
     fn forward_fill(&self, theta: &[f32], x: &Matrix, ws: &mut Workspace) {
         assert_eq!(theta.len(), self.d, "parameter vector length");
         assert!(x.rows() <= ws.max_batch, "batch exceeds workspace");
         assert_eq!(x.cols(), self.in_dim(), "input width");
         let batch = x.rows();
-        ws.activations[0].resize_zeroed(batch, self.in_dim());
-        ws.activations[0]
-            .as_mut_slice()
-            .copy_from_slice(x.as_slice());
+        let Workspace {
+            activations,
+            caches,
+            ctx,
+            ..
+        } = ws;
+        ctx.panels.begin_step();
+        // Every buffer below is fully overwritten by its producer (the
+        // Layer::forward contract), so plain reshapes suffice — no
+        // per-step zero-fill.
+        activations[0].resize_for_overwrite(batch, self.in_dim());
+        activations[0].as_mut_slice().copy_from_slice(x.as_slice());
         for (i, l) in self.layers.iter().enumerate() {
-            let (before, after) = ws.activations.split_at_mut(i + 1);
+            let (before, after) = activations.split_at_mut(i + 1);
             let input = &before[i];
             let output = &mut after[0];
-            output.resize_zeroed(batch, l.out_dim());
-            l.forward(
-                self.layer_params(i, theta),
-                input,
-                output,
-                &mut ws.caches[i],
-            );
+            output.resize_for_overwrite(batch, l.out_dim());
+            l.forward(self.layer_params(i, theta), input, output, &mut caches[i], ctx);
         }
     }
 
@@ -188,27 +238,38 @@ impl Network {
         assert_eq!(grad.len(), self.d, "gradient buffer length");
         let batch = x.rows();
         self.forward_fill(theta, x, ws);
+        let Workspace {
+            activations,
+            grad_a,
+            grad_b,
+            caches,
+            ctx,
+            ..
+        } = ws;
         // Disjoint field borrows: logits live in `activations`, the logit
-        // gradient goes into `grad_a`.
-        ws.grad_a.resize_zeroed(batch, self.n_classes);
-        let logits = ws.activations.last().unwrap();
-        let loss_val = loss::cross_entropy_loss_grad(logits, y, &mut ws.grad_a);
+        // gradient goes into `grad_a`. The loss gradient (like every
+        // layer's backward) writes all of its output, so the gradient
+        // ping-pong buffers are reshaped without zero-filling.
+        grad_a.resize_for_overwrite(batch, self.n_classes);
+        let logits = activations.last().unwrap();
+        let loss_val = loss::cross_entropy_loss_grad(logits, y, grad_a);
         // Backward sweep, ping-ponging grad_a (d output) and grad_b (d input).
         for i in (0..self.layers.len()).rev() {
             let l = &self.layers[i];
-            ws.grad_b.resize_zeroed(batch, l.in_dim());
-            let input = &ws.activations[i];
-            let output = &ws.activations[i + 1];
+            grad_b.resize_for_overwrite(batch, l.in_dim());
+            let input = &activations[i];
+            let output = &activations[i + 1];
             l.backward(
                 self.layer_params(i, theta),
                 input,
                 output,
-                &ws.grad_a,
-                &ws.caches[i],
+                grad_a,
+                &mut caches[i],
+                ctx,
                 &mut grad[self.offsets[i]..self.offsets[i + 1]],
-                &mut ws.grad_b,
+                grad_b,
             );
-            std::mem::swap(&mut ws.grad_a, &mut ws.grad_b);
+            std::mem::swap(grad_a, grad_b);
         }
         loss_val
     }
@@ -229,13 +290,16 @@ impl Network {
     }
 }
 
-/// Per-thread scratch: activation stack, gradient ping-pong buffers and
-/// layer caches. Create one per worker via [`Network::workspace`].
+/// Per-thread scratch: activation stack, gradient ping-pong buffers,
+/// layer caches, and the per-step compute context (prepacked panel cache
+/// + parallelism policy). Create one per worker via
+/// [`Network::workspace`].
 pub struct Workspace {
     activations: Vec<Matrix>,
     grad_a: Matrix,
     grad_b: Matrix,
     caches: Vec<LayerCache>,
+    ctx: StepCtx,
     max_batch: usize,
 }
 
@@ -244,6 +308,19 @@ impl Workspace {
     /// pass (`i = 0` is the input copy). Exposed for tests/diagnostics.
     pub fn activation(&self, i: usize) -> &Matrix {
         &self.activations[i]
+    }
+
+    /// Reconfigures the compute path (panel caching / intra-step
+    /// threading) for all subsequent passes through this workspace.
+    pub fn set_compute_opts(&mut self, opts: ComputeOpts) {
+        self.ctx.use_panels = opts.panel_cache;
+        self.ctx.threads = opts.threads;
+        self.ctx.pool = opts.pool;
+    }
+
+    /// The step context (tests/diagnostics — e.g. panel-cache hit rates).
+    pub fn step_ctx(&self) -> &StepCtx {
+        &self.ctx
     }
 }
 

@@ -5,7 +5,7 @@
 //! floor semantics for odd inputs — with 28×28 MNIST inputs this yields the
 //! 26→13 and 11→5 reductions that reproduce the published `d = 27,354`.
 
-use crate::layer::{Layer, LayerCache};
+use crate::layer::{Layer, LayerCache, StepCtx};
 use lsgd_tensor::Matrix;
 use rand::rngs::StdRng;
 
@@ -73,6 +73,7 @@ impl Layer for MaxPool2d {
         input: &Matrix,
         output: &mut Matrix,
         cache: &mut LayerCache,
+        _ctx: &mut StepCtx,
     ) {
         let batch = input.rows();
         let (oh, ow, win) = (self.out_h(), self.out_w(), self.win);
@@ -113,7 +114,8 @@ impl Layer for MaxPool2d {
         _input: &Matrix,
         _output: &Matrix,
         grad_out: &Matrix,
-        cache: &LayerCache,
+        cache: &mut LayerCache,
+        _ctx: &mut StepCtx,
         _grad_params: &mut [f32],
         grad_in: &mut Matrix,
     ) {
@@ -175,7 +177,7 @@ mod tests {
         ]);
         let mut y = Matrix::zeros(1, 4);
         let mut cache = LayerCache::default();
-        l.forward(&[], &x, &mut y, &mut cache);
+        l.forward(&[], &x, &mut y, &mut cache, &mut StepCtx::default());
         assert_eq!(y.as_slice(), &[6.0, 8.0, 9.0, 2.0]);
     }
 
@@ -185,11 +187,11 @@ mod tests {
         let x = Matrix::from_vec(1, 4, vec![1.0, 9.0, 3.0, 2.0]);
         let mut y = Matrix::zeros(1, 1);
         let mut cache = LayerCache::default();
-        l.forward(&[], &x, &mut y, &mut cache);
+        l.forward(&[], &x, &mut y, &mut cache, &mut StepCtx::default());
         assert_eq!(y.as_slice(), &[9.0]);
         let dy = Matrix::from_vec(1, 1, vec![7.0]);
         let mut dx = Matrix::zeros(1, 4);
-        l.backward(&[], &x, &y, &dy, &cache, &mut [], &mut dx);
+        l.backward(&[], &x, &y, &dy, &mut cache, &mut StepCtx::default(), &mut [], &mut dx);
         assert_eq!(dx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
     }
 
@@ -200,7 +202,7 @@ mod tests {
         // Max must come from the top-left 2x2 window only.
         let x = Matrix::from_vec(1, 9, vec![1.0, 2.0, 99.0, 3.0, 4.0, 99.0, 99.0, 99.0, 99.0]);
         let mut y = Matrix::zeros(1, 1);
-        l.forward(&[], &x, &mut y, &mut LayerCache::default());
+        l.forward(&[], &x, &mut y, &mut LayerCache::default(), &mut StepCtx::default());
         assert_eq!(y.as_slice(), &[4.0]);
     }
 
@@ -209,7 +211,7 @@ mod tests {
         let l = MaxPool2d::new(2, 2, 2, 2);
         let x = Matrix::from_vec(1, 8, vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0]);
         let mut y = Matrix::zeros(1, 2);
-        l.forward(&[], &x, &mut y, &mut LayerCache::default());
+        l.forward(&[], &x, &mut y, &mut LayerCache::default(), &mut StepCtx::default());
         assert_eq!(y.as_slice(), &[4.0, -1.0]);
     }
 
@@ -219,7 +221,7 @@ mod tests {
         let x = Matrix::from_vec(1, 4, vec![5.0, 5.0, 5.0, 5.0]);
         let mut y = Matrix::zeros(1, 1);
         let mut cache = LayerCache::default();
-        l.forward(&[], &x, &mut y, &mut cache);
+        l.forward(&[], &x, &mut y, &mut cache, &mut StepCtx::default());
         assert_eq!(cache.argmax[0], 0);
     }
 }

@@ -51,6 +51,7 @@
 
 use crate::matrix::Matrix;
 use crate::pack::{pack_a, pack_b};
+use crate::panels::{PackedA, PackedB};
 use crate::threadpool::{self, ThreadPool};
 use std::cell::RefCell;
 
@@ -64,8 +65,9 @@ pub enum Transpose {
 }
 
 impl Transpose {
+    /// True for [`Transpose::Yes`].
     #[inline]
-    fn is_t(self) -> bool {
+    pub fn is_t(self) -> bool {
         matches!(self, Transpose::Yes)
     }
 }
@@ -119,7 +121,7 @@ pub fn gemm_slices(
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
-    if smallm_prefers_naive(m, tb) {
+    if small_m_prefers_naive(m, tb) {
         return naive_dispatch(alpha, a, b, c, ta, tb, m, n, k);
     }
     // SAFETY: `c` is the unique mutable borrow of the full `m × n` output
@@ -148,10 +150,17 @@ pub fn gemm_slices(
 /// while the naive `ikj`/rank-1 loops stream `B` straight from memory at
 /// full vector width. The paper's per-sample CNN im2col products
 /// (`4 × 9 × 676`) sit squarely in this regime.
+///
+/// Public so callers holding *prepacked* operands (which can only feed
+/// the packed kernel) can apply the identical policy — falling back to a
+/// fresh-operand [`gemm_slices`] call for shapes this predicate claims —
+/// and thereby stay bitwise identical to the fresh-pack path on every
+/// shape.
 #[inline]
-fn smallm_prefers_naive(m: usize, tb: Transpose) -> bool {
+pub fn small_m_prefers_naive(m: usize, tb: Transpose) -> bool {
     !tb.is_t() && m < 8
 }
+
 
 /// Orientation dispatch into the retained naive kernels (post-validation,
 /// post-`beta`).
@@ -274,7 +283,7 @@ pub fn gemm_slices_parallel_in(
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
-    if smallm_prefers_naive(m, tb) {
+    if small_m_prefers_naive(m, tb) {
         // Same fast path as the serial entry point: keeps parallel and
         // serial results bitwise identical for every shape.
         return naive_dispatch(alpha, a, b, c, ta, tb, m, n, k);
@@ -366,6 +375,192 @@ pub fn gemm_parallel(
 }
 
 // ---------------------------------------------------------------------------
+// Flexible-source entry points (prepacked panels / fused custom packing)
+// ---------------------------------------------------------------------------
+
+/// Where the `A` operand of a [`gemm_flex`] call comes from.
+pub enum ASource<'a> {
+    /// A row-major slice packed fresh per cache block (the classic path).
+    Slices {
+        /// Stored row-major buffer.
+        a: &'a [f32],
+        /// Stored `(rows, cols)` before `op` is applied.
+        shape: (usize, usize),
+        /// Orientation.
+        trans: Transpose,
+    },
+    /// Panels prepacked once (e.g. a weight matrix reused across every
+    /// GEMM of an SGD step — see [`crate::panels`]). Skips `pack_a`.
+    Prepacked(&'a PackedA),
+}
+
+impl ASource<'_> {
+    /// Logical `(m, k)` after `op`.
+    fn dims(&self) -> (usize, usize) {
+        match self {
+            ASource::Slices { a, shape, trans } => {
+                assert_eq!(a.len(), shape.0 * shape.1, "gemm_flex: A buffer length");
+                if trans.is_t() {
+                    (shape.1, shape.0)
+                } else {
+                    *shape
+                }
+            }
+            ASource::Prepacked(pa) => pa.dims(),
+        }
+    }
+}
+
+/// Where the `B` operand of a [`gemm_flex`] call comes from.
+pub enum BSource<'a> {
+    /// A row-major slice packed fresh per cache block (the classic path).
+    Slices {
+        /// Stored row-major buffer.
+        b: &'a [f32],
+        /// Stored `(rows, cols)` before `op` is applied.
+        shape: (usize, usize),
+        /// Orientation.
+        trans: Transpose,
+    },
+    /// Panels prepacked once per SGD step (see [`crate::panels`]).
+    Prepacked(&'a PackedB),
+    /// A custom block packer, for operands that are cheaper to *generate*
+    /// in panel layout than to materialise and re-pack — the conv layer's
+    /// fused im2col lowering. `pack(dst, k0, j0, kc, nc)` must fill `dst`
+    /// with exactly what [`crate::pack::pack_b`] would produce for that
+    /// block of the logical `k × n` operand (zero-padded `NR`-column
+    /// micro-panels), so results stay bitwise identical to materialising
+    /// the operand and calling [`gemm_slices`].
+    Packer {
+        /// Block packer: `(dst, k0, j0, kc, nc)`.
+        pack: &'a (dyn Fn(&mut [f32], usize, usize, usize, usize) + Sync),
+        /// Logical `(k, n)` of the operand.
+        shape: (usize, usize),
+    },
+}
+
+impl BSource<'_> {
+    /// Logical `(k, n)` after `op`.
+    fn dims(&self) -> (usize, usize) {
+        match self {
+            BSource::Slices { b, shape, trans } => {
+                assert_eq!(b.len(), shape.0 * shape.1, "gemm_flex: B buffer length");
+                if trans.is_t() {
+                    (shape.1, shape.0)
+                } else {
+                    *shape
+                }
+            }
+            BSource::Prepacked(pb) => pb.dims(),
+            BSource::Packer { shape, .. } => *shape,
+        }
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C` where either operand may be a
+/// plain slice, a prepacked panel set, or (for `B`) a custom block
+/// packer. Always runs the packed kernel; results are bitwise identical
+/// to [`gemm_slices`] whenever that call would take the packed path
+/// (callers holding prepacked operands should consult
+/// [`small_m_prefers_naive`] and fall back to [`gemm_slices`] for shapes
+/// it claims, as the nn layers do).
+///
+/// # Panics
+/// Panics on shape/buffer-length inconsistencies.
+pub fn gemm_flex(
+    alpha: f32,
+    a: &ASource<'_>,
+    b: &BSource<'_>,
+    beta: f32,
+    c: &mut [f32],
+    c_shape: (usize, usize),
+) {
+    let (m, n, k) = validate_flex(a, b, c, c_shape);
+    scale_c(beta, c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // SAFETY: unique mutable borrow of the whole `m × n` output, serial.
+    unsafe {
+        flex_gemm_rect(alpha, a, b, CPtr(c.as_mut_ptr()), n, (0, m), (0, n), k);
+    }
+}
+
+/// [`gemm_flex`] with the M-panel loop split across `pool`.
+///
+/// Unlike [`gemm_slices_parallel`] this splits **rows only** (each task
+/// sweeps the full `jc`/`pc` block loops from column 0), because
+/// prepacked `B` blocks exist only at `NC`-aligned starts; row chunks are
+/// `MC`-aligned so prepacked `A` blocks line up too. Serial and parallel
+/// results are bitwise identical for the same reason as
+/// [`gemm_slices_parallel`]: tasks own disjoint row bands of `C` and run
+/// the identical blocked loop over them.
+pub fn gemm_flex_parallel_in(
+    pool: &ThreadPool,
+    alpha: f32,
+    a: &ASource<'_>,
+    b: &BSource<'_>,
+    beta: f32,
+    c: &mut [f32],
+    c_shape: (usize, usize),
+) {
+    let (m, n, k) = validate_flex(a, b, c, c_shape);
+    scale_c(beta, c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let threads = pool.threads();
+    let cp = CPtr(c.as_mut_ptr());
+    if threads <= 1 || 2 * m * n * k < PAR_MIN_FLOPS || m < 2 * MC {
+        // SAFETY: unique borrow of C, whole rectangle, serial.
+        unsafe {
+            flex_gemm_rect(alpha, a, b, cp, n, (0, m), (0, n), k);
+        }
+        return;
+    }
+    // MC-aligned row chunks keep every task's `ic` block starts at the
+    // positions prepacked A blocks live at (multiples of MC from zero).
+    let chunk = m.div_ceil(threads).next_multiple_of(MC);
+    let ntasks = m.div_ceil(chunk);
+    pool.parallel_for(ntasks, &|t| {
+        let rows = (t * chunk, ((t + 1) * chunk).min(m));
+        // SAFETY: tasks cover pairwise-disjoint row bands of C, and
+        // `parallel_for` joins every task before returning, so the
+        // `&mut c` borrow outlives all writes through `cp`.
+        unsafe {
+            flex_gemm_rect(alpha, a, b, cp, n, rows, (0, n), k);
+        }
+    });
+}
+
+/// [`gemm_flex_parallel_in`] against the global worker pool.
+pub fn gemm_flex_parallel(
+    alpha: f32,
+    a: &ASource<'_>,
+    b: &BSource<'_>,
+    beta: f32,
+    c: &mut [f32],
+    c_shape: (usize, usize),
+) {
+    gemm_flex_parallel_in(threadpool::global(), alpha, a, b, beta, c, c_shape);
+}
+
+/// Shape validation for the flexible-source entry points.
+fn validate_flex(
+    a: &ASource<'_>,
+    b: &BSource<'_>,
+    c: &[f32],
+    c_shape: (usize, usize),
+) -> (usize, usize, usize) {
+    let (m, k) = a.dims();
+    let (kb, n) = b.dims();
+    assert_eq!(k, kb, "gemm_flex: inner dimensions disagree ({k} vs {kb})");
+    assert_eq!(c.len(), c_shape.0 * c_shape.1, "gemm_flex: C buffer length");
+    assert_eq!(c_shape, (m, n), "gemm_flex: C shape");
+    (m, n, k)
+}
+
+// ---------------------------------------------------------------------------
 // Shared plumbing
 // ---------------------------------------------------------------------------
 
@@ -429,6 +624,24 @@ thread_local! {
         const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
+/// Internal `A` operand handle for the blocked rect kernel.
+enum ARef<'a> {
+    /// Pack fresh per block from a stored row-major buffer.
+    Pack { a: &'a [f32], a_cols: usize, ta: bool },
+    /// Serve blocks from a full prepacked operand.
+    Pre(&'a PackedA),
+}
+
+/// Internal `B` operand handle for the blocked rect kernel.
+enum BRef<'a> {
+    /// Pack fresh per block from a stored row-major buffer.
+    Pack { b: &'a [f32], b_cols: usize, tb: bool },
+    /// Serve blocks from a full prepacked operand.
+    Pre(&'a PackedB),
+    /// Generate blocks with a caller-supplied packer (fused im2col).
+    Custom(&'a (dyn Fn(&mut [f32], usize, usize, usize, usize) + Sync)),
+}
+
 /// Serial packed kernel over the rectangle `rows × cols` of `C`.
 ///
 /// # Safety
@@ -444,6 +657,76 @@ unsafe fn packed_gemm_rect(
     b: &[f32],
     b_cols: usize,
     tb: bool,
+    cp: CPtr,
+    c_cols: usize,
+    rows: (usize, usize),
+    cols: (usize, usize),
+    k: usize,
+) {
+    packed_rect(
+        alpha,
+        &ARef::Pack { a, a_cols, ta },
+        &BRef::Pack { b, b_cols, tb },
+        cp,
+        c_cols,
+        rows,
+        cols,
+        k,
+    );
+}
+
+/// [`packed_rect`] over the public flexible sources.
+///
+/// # Safety
+/// Same contract as [`packed_gemm_rect`].
+unsafe fn flex_gemm_rect(
+    alpha: f32,
+    a: &ASource<'_>,
+    b: &BSource<'_>,
+    cp: CPtr,
+    c_cols: usize,
+    rows: (usize, usize),
+    cols: (usize, usize),
+    k: usize,
+) {
+    let aref = match a {
+        ASource::Slices { a, shape, trans } => ARef::Pack {
+            a,
+            a_cols: shape.1,
+            ta: trans.is_t(),
+        },
+        ASource::Prepacked(pa) => ARef::Pre(pa),
+    };
+    let bref = match b {
+        BSource::Slices { b, shape, trans } => BRef::Pack {
+            b,
+            b_cols: shape.1,
+            tb: trans.is_t(),
+        },
+        BSource::Prepacked(pb) => BRef::Pre(pb),
+        BSource::Packer { pack, .. } => BRef::Custom(*pack),
+    };
+    packed_rect(alpha, &aref, &bref, cp, c_cols, rows, cols, k);
+}
+
+/// The three-level blocked loop nest over any operand sources. Block
+/// geometry is *identical* regardless of source — prepacked operands
+/// store blocks at exactly the `(MC, KC, NC)`-aligned starts this loop
+/// visits, and custom packers fill the same `pack_b` panel layout — so
+/// every source combination feeds the macro-kernel the same bytes in the
+/// same order and results are bitwise identical across them.
+///
+/// # Safety
+/// Same contract as [`packed_gemm_rect`]. Additionally, prepacked
+/// operands require their aligned block starts: `rows.0 % MC == 0` when
+/// `A` is prepacked, `cols.0 % NC == 0` when `B` is (upheld by the
+/// public entry points, which row-split at `MC` multiples and never
+/// column-split non-slice sources).
+#[allow(clippy::too_many_arguments)]
+unsafe fn packed_rect(
+    alpha: f32,
+    a: &ARef<'_>,
+    b: &BRef<'_>,
     cp: CPtr,
     c_cols: usize,
     rows: (usize, usize),
@@ -468,11 +751,27 @@ unsafe fn packed_gemm_rect(
             let nc = NC.min(j_hi - jc);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
-                pack_b(bbuf, b, b_cols, tb, pc, jc, kc, nc);
+                let bpanel: &[f32] = match b {
+                    BRef::Pack { b, b_cols, tb } => {
+                        pack_b(bbuf, b, *b_cols, *tb, pc, jc, kc, nc);
+                        bbuf
+                    }
+                    BRef::Pre(pb) => pb.block(pc, jc),
+                    BRef::Custom(pack) => {
+                        pack(&mut bbuf[..nc.div_ceil(NR) * NR * kc], pc, jc, kc, nc);
+                        bbuf
+                    }
+                };
                 for ic in (i_lo..i_hi).step_by(MC) {
                     let mc = MC.min(i_hi - ic);
-                    pack_a(abuf, a, a_cols, ta, ic, pc, mc, kc);
-                    macro_kernel(alpha, abuf, bbuf, mc, nc, kc, cp, c_cols, ic, jc);
+                    let apanel: &[f32] = match a {
+                        ARef::Pack { a, a_cols, ta } => {
+                            pack_a(abuf, a, *a_cols, *ta, ic, pc, mc, kc);
+                            abuf
+                        }
+                        ARef::Pre(pa) => pa.block(ic, pc),
+                    };
+                    macro_kernel(alpha, apanel, bpanel, mc, nc, kc, cp, c_cols, ic, jc);
                 }
             }
         }
@@ -737,7 +1036,28 @@ fn row_mut(buf: &mut [f32], r: usize, cols: usize) -> &mut [f32] {
 }
 
 /// C += alpha * A * B — A is m×k, B is k×n. ikj loop, blocked.
+///
+/// For `m ≤ MR` (the small-m regime this kernel is kept for — per-sample
+/// conv products like `dW = dY·cols`), the loop nest is swapped to
+/// `k`-outer so each B row is loaded once and streamed to all `m` output
+/// rows, instead of `m` full passes over B. Each `C[i][j]` still
+/// accumulates its `k` terms in ascending-`k` order, so the result is
+/// **bitwise identical** to the blocked `ikj` order — only memory
+/// traffic changes (~1.5× faster on the CNN's `dW` products).
 fn gemm_nn(alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    if m <= MR {
+        for kk in 0..k {
+            let brow = row(b, kk, n);
+            for i in 0..m {
+                let aik = alpha * a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                axpy_inner(aik, brow, row_mut(c, i, n));
+            }
+        }
+        return;
+    }
     for i0 in (0..m).step_by(MC) {
         let i1 = (i0 + MC).min(m);
         for k0 in (0..k).step_by(KC) {

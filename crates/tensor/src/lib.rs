@@ -29,9 +29,11 @@ pub mod matrix;
 pub mod numeric;
 pub mod ops;
 pub mod pack;
+pub mod panels;
 pub mod rng;
 pub mod threadpool;
 
 pub use gemm::{gemm, gemm_naive, gemm_parallel, Transpose};
 pub use matrix::Matrix;
+pub use panels::{PackedA, PackedB, PackedPanelCache};
 pub use rng::SmallRng64;

@@ -147,6 +147,21 @@ impl Matrix {
         self.cols = cols;
     }
 
+    /// Resizes the matrix *without* resetting retained elements: contents
+    /// are unspecified (a mix of stale values and zeros) and the caller
+    /// must overwrite every element before reading any.
+    ///
+    /// This exists for the gradient hot path, where buffers like the
+    /// activation stack are fully overwritten every iteration and the
+    /// `O(rows·cols)` zero-fill of [`Matrix::resize_zeroed`] was pure
+    /// overhead per step. Steady-state calls with an unchanged shape cost
+    /// nothing.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Returns the transposed matrix (allocates).
     pub fn transposed(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);

@@ -190,6 +190,33 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Splits `0..n` into at most `max_tasks` contiguous, near-equal ranges
+/// (the longer ranges first), returning an empty vector for `n == 0`.
+///
+/// Used by data-parallel loops whose items are whole units of work (e.g.
+/// the conv layers' per-sample im2col + GEMM): handing each
+/// [`ThreadPool::parallel_for`] task one contiguous range keeps per-item
+/// results written to disjoint, cache-friendly regions and makes the
+/// task decomposition — and therefore any ordered reduction over it —
+/// deterministic for a given `(n, max_tasks)`.
+pub fn split_ranges(n: usize, max_tasks: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 || max_tasks == 0 {
+        return Vec::new();
+    }
+    let tasks = max_tasks.min(n);
+    let base = n / tasks;
+    let extra = n % tasks; // the first `extra` ranges get one more item
+    let mut out = Vec::with_capacity(tasks);
+    let mut start = 0;
+    for t in 0..tasks {
+        let len = base + usize::from(t < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
 /// The process-wide pool used by `gemm_parallel`.
 ///
 /// Sized from `LSGD_GEMM_THREADS` when set, otherwise from
@@ -273,6 +300,26 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn split_ranges_partitions_exactly() {
+        for (n, t) in [(0usize, 4usize), (5, 1), (5, 8), (64, 4), (7, 3), (1, 1)] {
+            let ranges = split_ranges(n, t);
+            if n == 0 {
+                assert!(ranges.is_empty());
+                continue;
+            }
+            assert!(ranges.len() <= t && ranges.len() <= n);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+                // Near-equal: lengths differ by at most one, longest first.
+                assert!(w[0].len() >= w[1].len());
+                assert!(w[0].len() - w[1].len() <= 1);
+            }
+        }
     }
 
     #[test]

@@ -23,8 +23,9 @@ use std::time::Duration;
 fn main() {
     let dim = 8_192;
     let shards = 64;
-    // What the trainer will actually use (honours LSGD_SHARDS).
-    let shards_eff = effective_shards(shards);
+    // What the trainer will actually use (honours LSGD_SHARDS; a
+    // configured 0 would select the dim/worker heuristic instead).
+    let shards_eff = effective_shards(shards, dim, 4);
     let data = sparse_logreg(4_000, dim, 16, 11);
     println!(
         "sparse logreg: n={} d={} avg_nnz={:.1} | w* reference accuracy {:.3}",

@@ -13,6 +13,20 @@
 //! single descheduled outlier cannot skew the `Melem/s` lines that BENCH
 //! trajectories track. Still not the published crate's bootstrap
 //! analysis — swap that in for rigorous confidence intervals.
+//!
+//! # Machine-readable results
+//!
+//! When `LSGD_BENCH_JSON=<path>` is set, every completed benchmark is
+//! also appended to a JSON **array** at `<path>` (the whole file is
+//! rewritten after each result, so it is valid JSON even if the process
+//! dies mid-run; entries already present are re-ingested first, so the
+//! separate bench binaries of a whole-suite `cargo bench` accumulate
+//! into one array — delete the file to start a fresh trajectory).
+//! Entries carry the id, per-iteration seconds
+//! (median/mean/stddev/min) and, when a [`Throughput`] was declared, the
+//! per-iteration element/byte count plus the median-derived rate. CI
+//! uploads these `BENCH_*.json` files as artifacts so perf trajectories
+//! can be diffed across PRs.
 
 #![warn(missing_docs)]
 
@@ -240,6 +254,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
         return;
     }
     let stats = Stats::from_samples(&b.samples);
+    json_sink::record(id, &stats, throughput);
     // Throughput from the median, not the mean: one descheduled sample
     // inflates the mean arbitrarily but moves the median by at most one
     // rank, so regression trajectories stay comparable across noisy runs.
@@ -293,6 +308,172 @@ impl Stats {
             mean,
             stddev,
             min: sorted[0],
+        }
+    }
+}
+
+/// The `LSGD_BENCH_JSON` machine-readable results sink (module docs at
+/// the crate root). Formatting is hand-rolled: the workspace is built
+/// against offline shims, so no serde.
+mod json_sink {
+    use super::{Stats, Throughput};
+    use std::sync::Mutex;
+
+    /// All results recorded so far, as serialised JSON objects; the
+    /// target file is rewritten from this list after every record so it
+    /// always holds a complete, valid array. `None` until the first
+    /// record, at which point any entries already in the target file are
+    /// re-ingested — `cargo bench` runs each bench binary as a separate
+    /// process, and without the re-ingest each binary would clobber the
+    /// previous ones' results. Delete the file first for a fresh
+    /// trajectory.
+    static ENTRIES: Mutex<Option<Vec<String>>> = Mutex::new(None);
+
+    /// Extracts the entry lines of a JSON array previously written by
+    /// this sink (one `{...}` object per line — our own format only).
+    fn reingest(path: &str) -> Vec<String> {
+        let Ok(existing) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        existing
+            .lines()
+            .map(|l| l.trim().trim_end_matches(','))
+            .filter(|l| l.starts_with('{') && l.ends_with('}'))
+            .map(String::from)
+            .collect()
+    }
+
+    /// Minimal JSON string escaping (quotes, backslashes, control chars)
+    /// for benchmark ids.
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// One result as a JSON object. Seconds are emitted with `{:e}` so
+    /// nanosecond-scale values survive the round trip; rates are derived
+    /// from the median for the same outlier-resistance reason as the
+    /// printed report.
+    pub(super) fn entry_json(id: &str, stats: &Stats, throughput: Option<Throughput>) -> String {
+        let mut s = format!(
+            "{{\"id\":\"{}\",\"median_s\":{:e},\"mean_s\":{:e},\"stddev_s\":{:e},\"min_s\":{:e}",
+            escape(id),
+            stats.median,
+            stats.mean,
+            stats.stddev,
+            stats.min
+        );
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                s.push_str(&format!(
+                    ",\"elements\":{n},\"melem_per_s\":{:.3}",
+                    n as f64 / stats.median / 1e6
+                ));
+            }
+            Some(Throughput::Bytes(n)) => {
+                s.push_str(&format!(
+                    ",\"bytes\":{n},\"mib_per_s\":{:.3}",
+                    n as f64 / stats.median / (1 << 20) as f64
+                ));
+            }
+            None => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// Records one result and (when `LSGD_BENCH_JSON` is set) rewrites
+    /// the target file as a JSON array of everything recorded so far.
+    /// I/O errors are reported to stderr, never panicked on — a broken
+    /// sink must not fail a benchmark run.
+    pub(super) fn record(id: &str, stats: &Stats, throughput: Option<Throughput>) {
+        let Ok(path) = std::env::var("LSGD_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut entries = ENTRIES.lock().unwrap();
+        let entries = entries.get_or_insert_with(|| reingest(&path));
+        entries.push(entry_json(id, stats, throughput));
+        let body = format!("[\n  {}\n]\n", entries.join(",\n  "));
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("LSGD_BENCH_JSON: cannot write {path}: {e}");
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn entry_is_valid_and_complete() {
+            let stats = Stats {
+                median: 1.25e-6,
+                mean: 2.0e-6,
+                stddev: 5.0e-7,
+                min: 1.0e-6,
+            };
+            let j = entry_json("group/bench \"x\"", &stats, Some(Throughput::Elements(1000)));
+            assert!(j.starts_with('{') && j.ends_with('}'));
+            assert!(j.contains("\"id\":\"group/bench \\\"x\\\"\""));
+            assert!(j.contains("\"median_s\":1.25e-6"));
+            assert!(j.contains("\"elements\":1000"));
+            // 1000 elements / 1.25 µs = 800 Melem/s.
+            assert!(j.contains("\"melem_per_s\":800.000"), "{j}");
+            // Balanced braces/quotes — cheap well-formedness proxy given
+            // there is no JSON parser in the offline shim set.
+            assert_eq!(j.matches('"').count() % 2, 0);
+        }
+
+        #[test]
+        fn entry_without_throughput_has_no_rate_fields() {
+            let stats = Stats {
+                median: 0.5,
+                mean: 0.5,
+                stddev: 0.0,
+                min: 0.5,
+            };
+            let j = entry_json("plain", &stats, None);
+            assert!(!j.contains("melem_per_s") && !j.contains("mib_per_s"));
+            let b = entry_json("bytes", &stats, Some(Throughput::Bytes(1 << 20)));
+            assert!(b.contains("\"mib_per_s\":2.000"), "{b}");
+        }
+
+        #[test]
+        fn control_chars_are_escaped() {
+            let e = escape("a\nb\t\"c\\");
+            assert_eq!(e, "a\\u000ab\\u0009\\\"c\\\\");
+        }
+
+        #[test]
+        fn reingest_recovers_entry_lines() {
+            let dir = std::env::temp_dir().join(format!(
+                "lsgd_bench_json_test_{}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("sink.json");
+            let p = path.to_str().unwrap();
+            std::fs::write(p, "[\n  {\"id\":\"a\",\"median_s\":1e-6},\n  {\"id\":\"b\",\"median_s\":2e-6}\n]\n").unwrap();
+            let got = reingest(p);
+            assert_eq!(
+                got,
+                vec![
+                    "{\"id\":\"a\",\"median_s\":1e-6}".to_string(),
+                    "{\"id\":\"b\",\"median_s\":2e-6}".to_string()
+                ]
+            );
+            assert!(reingest(dir.join("missing.json").to_str().unwrap()).is_empty());
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
 }

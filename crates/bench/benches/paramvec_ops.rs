@@ -67,6 +67,7 @@ fn bench_ops(c: &mut Criterion) {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let grad = vec![0.001f32; d];
+            // ORDERING: Relaxed — bench stop flag; carries no data.
             while !stop.load(Ordering::Relaxed) {
                 s.publish_update(&grad, 0.005, None, |_| {});
             }
@@ -76,6 +77,7 @@ fn bench_ops(c: &mut Criterion) {
     group.bench_function("publish_contended_cnn_d", |b| {
         b.iter(|| black_box(s.publish_update(black_box(&grad), 0.005, None, |_| {})));
     });
+    // ORDERING: Relaxed — see the paired load in the contender.
     stop.store(true, Ordering::Relaxed);
     contender.join().unwrap();
 

@@ -44,6 +44,7 @@ use std::time::Duration;
 const ETA: f32 = 1e-4;
 
 /// One shared-parameter backend per benchmarked algorithm.
+#[allow(clippy::large_enum_variant)] // one long-lived instance per bench run; size is irrelevant
 enum Shared {
     Locked(LockedParams),
     Hog(HogwildParams),

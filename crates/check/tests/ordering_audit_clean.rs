@@ -1,0 +1,19 @@
+//! Tier-1 enforcement of the ordering-audit lint: `cargo test` fails if
+//! any `Ordering::Relaxed` / `Ordering::SeqCst` site in `crates/` lacks
+//! an adjacent `// ORDERING:` justification. The standalone
+//! `ordering_audit` binary reports the same thing for CI and humans.
+
+use lsgd_check::audit;
+
+#[test]
+fn ordering_audit_is_clean() {
+    let root = audit::workspace_root();
+    let violations = audit::audit_crates(&root).expect("failed to scan crates/");
+    if !violations.is_empty() {
+        let mut msg = String::from("unjustified ordering sites:\n");
+        for v in &violations {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        panic!("{msg}");
+    }
+}

@@ -40,6 +40,8 @@ impl LockedParams {
         let guard = self.theta.lock();
         dst.copy_from_slice(&guard);
         // Read the seq while holding the lock: it labels this exact state.
+        // ORDERING: SeqCst — one total order over seq labels so staleness
+        // math (t_new - t_base) never observes reordered labels.
         self.seq.load(Ordering::SeqCst)
     }
 
@@ -48,11 +50,14 @@ impl LockedParams {
     pub fn update(&self, grad: &[f32], eta: f32) -> u64 {
         let mut guard = self.theta.lock();
         lsgd_tensor::ops::sgd_step(&mut guard, grad, eta);
+        // ORDERING: SeqCst — seq labels share one total order; the data
+        // itself is protected by the mutex.
         self.seq.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Current sequence number.
     pub fn current_seq(&self) -> u64 {
+        // ORDERING: SeqCst — same total order as read_into/update.
         self.seq.load(Ordering::SeqCst)
     }
 
@@ -103,6 +108,8 @@ impl HogwildParams {
     /// Component read.
     #[inline]
     pub fn get(&self, i: usize) -> f32 {
+        // ORDERING: Relaxed — HOGWILD! is *defined* by unsynchronised
+        // component access; only word-level atomicity is wanted.
         f32::from_bits(self.theta[i].load(Ordering::Relaxed))
     }
 
@@ -110,8 +117,11 @@ impl HogwildParams {
     /// relaxed per-component loads; returns the sequence number observed
     /// *before* the copy, matching the paper's staleness bookkeeping.
     pub fn read_into(&self, dst: &mut [f32]) -> u64 {
+        // ORDERING: SeqCst — seq labels stay totally ordered even though
+        // the component reads below are deliberately unordered.
         let t = self.seq.load(Ordering::SeqCst);
         for (d, a) in dst.iter_mut().zip(self.theta.iter()) {
+            // ORDERING: Relaxed — the HOGWILD! racy read; see `get`.
             *d = f32::from_bits(a.load(Ordering::Relaxed));
         }
         t
@@ -122,11 +132,14 @@ impl HogwildParams {
     /// 15–18 applied directly to the shared vector). Returns the new
     /// sequence number (`FetchAndAdd`, as in Algorithm 1 line 16).
     pub fn update(&self, grad: &[f32], eta: f32) -> u64 {
+        // ORDERING: SeqCst — the paper's FetchAndAdd total order on t.
         let t = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
         for (a, &g) in self.theta.iter().zip(grad) {
             // Racy RMW, exactly like the unsynchronised C++: concurrent
             // updates to the same component can be lost.
+            // ORDERING: Relaxed — deliberately unsynchronised; see `get`.
             let cur = f32::from_bits(a.load(Ordering::Relaxed));
+            // ORDERING: Relaxed — see above.
             a.store((cur - eta * g).to_bits(), Ordering::Relaxed);
         }
         t
@@ -134,6 +147,7 @@ impl HogwildParams {
 
     /// Current sequence number.
     pub fn current_seq(&self) -> u64 {
+        // ORDERING: SeqCst — same total order as read_into/update.
         self.seq.load(Ordering::SeqCst)
     }
 

@@ -24,11 +24,17 @@ impl MemoryGauge {
 
     /// Registers `bytes` of newly allocated buffer space.
     pub fn add(&self, bytes: usize) {
+        // ORDERING: Relaxed throughout this gauge — pure statistics
+        // counters that publish no data; exactness is only asserted
+        // after joins, which synchronise. Same rationale at every site.
         let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        // ORDERING: Relaxed — see above.
         self.total_allocs.fetch_add(1, Ordering::Relaxed);
         // Lock-free max update.
+        // ORDERING: Relaxed — see above; the CAS loop only ratchets up.
         let mut peak = self.peak.load(Ordering::Relaxed);
         while live > peak {
+            // ORDERING: Relaxed — see above.
             match self.peak.compare_exchange_weak(
                 peak,
                 live,
@@ -43,32 +49,38 @@ impl MemoryGauge {
 
     /// Registers release of `bytes` previously added.
     pub fn sub(&self, bytes: usize) {
+        // ORDERING: Relaxed — statistics only; see `add`.
         let prev = self.live.fetch_sub(bytes, Ordering::Relaxed);
         debug_assert!(prev >= bytes, "memory gauge underflow");
     }
 
     /// Notes a buffer handed out from a recycling pool (no new allocation).
     pub fn note_reuse(&self) {
+        // ORDERING: Relaxed — statistics only; see `add`.
         self.pool_reuses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Currently live bytes.
     pub fn live(&self) -> usize {
+        // ORDERING: Relaxed — statistics only; see `add`.
         self.live.load(Ordering::Relaxed)
     }
 
     /// High-water mark of live bytes.
     pub fn peak(&self) -> usize {
+        // ORDERING: Relaxed — statistics only; see `add`.
         self.peak.load(Ordering::Relaxed)
     }
 
     /// Number of fresh allocations.
     pub fn total_allocs(&self) -> u64 {
+        // ORDERING: Relaxed — statistics only; see `add`.
         self.total_allocs.load(Ordering::Relaxed)
     }
 
     /// Number of pool reuses (recycled buffers).
     pub fn pool_reuses(&self) -> u64 {
+        // ORDERING: Relaxed — statistics only; see `add`.
         self.pool_reuses.load(Ordering::Relaxed)
     }
 }

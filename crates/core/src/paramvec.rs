@@ -39,8 +39,9 @@
 //!   publishing CAS is `AcqRel`; readers load `P` with `Acquire`.
 
 use crate::pool::BufferPool;
+use lsgd_check::annotate;
+use lsgd_check::sync::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use lsgd_sync::SegQueue;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicU32, Ordering};
 
 /// One ParameterVector instance: metadata header + owned `theta` buffer
 /// (paper Algorithm 1).
@@ -64,6 +65,8 @@ impl ParamVec {
     /// Sequence number of this vector.
     #[inline]
     pub fn seq(&self) -> u64 {
+        // ORDERING: SeqCst keeps `t` in the same total order as the
+        // publication CAS and stale/n_rdrs protocol it is read alongside.
         self.t.load(Ordering::SeqCst)
     }
 
@@ -71,18 +74,27 @@ impl ParamVec {
     /// read; `latest()` retries past them).
     #[inline]
     pub fn is_stale(&self) -> bool {
+        // ORDERING: SeqCst — part of the P3 read protocol's total order
+        // (see `latest`); a weaker load could miss a concurrent retire.
         self.stale.load(Ordering::SeqCst)
     }
 
     /// Current reader count (diagnostic).
     #[inline]
     pub fn readers(&self) -> u32 {
+        // ORDERING: SeqCst for consistency with the protocol's other
+        // n_rdrs accesses; this getter is diagnostic only.
         self.n_rdrs.load(Ordering::SeqCst)
     }
 
     /// Algorithm 1 `safe_delete`: reclaim the buffer iff stale, unread and
     /// not already reclaimed.
     fn safe_delete(&self, pool: &BufferPool) {
+        // ORDERING: SeqCst on stale, n_rdrs and the deleted CAS — the
+        // safety argument (module docs) relies on the SeqCst total order
+        // to prove a counted reader that saw ¬stale is visible to every
+        // later reclamation check. Release/acquire alone does not give
+        // the needed read(n_rdrs) / write(stale) ordering both ways.
         if self.stale.load(Ordering::SeqCst)
             && self.n_rdrs.load(Ordering::SeqCst) == 0
             && self
@@ -90,6 +102,9 @@ impl ParamVec {
                 .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
         {
+            // ORDERING: SeqCst swap publishes the null and joins the
+            // winning reclaimer into the total order; the deleted CAS
+            // already guarantees exclusivity.
             let ptr = self.buf.swap(std::ptr::null_mut(), Ordering::SeqCst);
             debug_assert!(!ptr.is_null(), "published vector reclaimed twice");
             // SAFETY: `deleted` CAS guarantees exactly one reclaimer; the
@@ -101,6 +116,9 @@ impl ParamVec {
 
     /// Algorithm 1 `stop_reading`: drop one reader and attempt reclaim.
     fn stop_reading(&self, pool: &BufferPool) {
+        // ORDERING: SeqCst — the decrement must order after this reader's
+        // buffer reads and before the safe_delete checks (its own and any
+        // other thread's), which the SeqCst total order provides.
         let prev = self.n_rdrs.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "stop_reading without start_reading");
         self.safe_delete(pool);
@@ -113,8 +131,15 @@ impl ParamVec {
     /// `¬stale`) or exclusive pre-publication ownership.
     #[inline]
     unsafe fn theta(&self) -> &[f32] {
+        // ORDERING: Acquire pairs with the Release publication of the
+        // buffer pointer (pool handoff / header init) so the pointee is
+        // fully initialised before we build a slice over it.
         let ptr = self.buf.load(Ordering::Acquire);
         debug_assert!(!ptr.is_null());
+        // Model checker: a counted read of the whole buffer. The base
+        // address keys the buffer as one object, so any write that is
+        // not happens-before ordered with this read is a reported race.
+        annotate::data_read(ptr as usize);
         std::slice::from_raw_parts(ptr, self.dim)
     }
 
@@ -125,8 +150,14 @@ impl ParamVec {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     unsafe fn theta_mut(&self) -> &mut [f32] {
+        // ORDERING: Acquire — same pairing as `theta`; the writer must
+        // also see the previous owner's handoff before reusing a
+        // recycled buffer.
         let ptr = self.buf.load(Ordering::Acquire);
         debug_assert!(!ptr.is_null());
+        // Model checker: an exclusive write to the whole buffer; races
+        // with any unordered read or write are reported.
+        annotate::data_write(ptr as usize);
         std::slice::from_raw_parts_mut(ptr, self.dim)
     }
 }
@@ -243,6 +274,9 @@ impl LeashedShared {
         let pv = shared.alloc_header();
         // SAFETY: exclusive ownership before first publication.
         unsafe { (*pv).theta_mut().copy_from_slice(init) };
+        // ORDERING: Release — the initial publication; pairs with the
+        // Acquire load in `latest` so workers see the initialised
+        // header and buffer contents.
         shared.p.store(pv, Ordering::Release);
         shared
     }
@@ -269,6 +303,9 @@ impl LeashedShared {
             buf: AtomicPtr::new(buf),
             dim: self.dim,
         }));
+        // Model checker: register the header region so use-after-free /
+        // leak tracking covers headers as well as buffers.
+        annotate::fresh(pv as usize, std::mem::size_of::<ParamVec>());
         self.headers.push(pv as usize);
         pv
     }
@@ -278,10 +315,17 @@ impl LeashedShared {
     /// retry implies another thread published (system-wide progress).
     pub fn latest(&self) -> ReadGuard<'_> {
         loop {
+            // ORDERING: Acquire pairs with the publishing AcqRel CAS (or
+            // the initial Release store) so the vector's contents
+            // happen-before this reader's use of them.
             let ptr = self.p.load(Ordering::Acquire);
             // SAFETY: headers are never freed during the run.
             let pv = unsafe { &*ptr };
+            // ORDERING: SeqCst increment-then-check (P3): the increment
+            // must precede the stale check in the single total order the
+            // reclamation proof quantifies over; see safe_delete.
             pv.n_rdrs.fetch_add(1, Ordering::SeqCst);
+            // ORDERING: SeqCst — the other half of the P3 handshake.
             if !pv.stale.load(Ordering::SeqCst) {
                 return ReadGuard { pv, shared: self };
             }
@@ -297,6 +341,8 @@ impl LeashedShared {
         // SAFETY: headers are never freed during the run; reading the
         // sequence number of a just-replaced vector is benign (it only
         // under-estimates, exactly like the C++ original).
+        // ORDERING: Acquire — same pairing as `latest`; `seq()` then
+        // reads `t` inside the acquired header.
         unsafe { (*self.p.load(Ordering::Acquire)).seq() }
     }
 
@@ -380,15 +426,25 @@ impl LeashedShared {
                 let dst = unsafe { new_pv.theta_mut() };
                 dst.copy_from_slice(latest.theta());
             }
+            // ORDERING: SeqCst stores to `t` on a still-private vector;
+            // visibility is actually guaranteed by the publishing CAS
+            // below — SeqCst here keeps every `t` access in one total
+            // order so seq() comparisons never run backwards.
             new_pv.t.store(t_base, Ordering::SeqCst);
             let latest_raw = latest.raw();
             drop(latest); // stop_reading before the CAS, as in Algorithm 3
             // update(): t += 1; theta -= eta * grad  (Algorithm 1 line 15).
+            // ORDERING: SeqCst — see the store above.
             new_pv.t.fetch_add(1, Ordering::SeqCst);
             {
                 let dst = unsafe { new_pv.theta_mut() };
                 apply(dst);
             }
+            // ORDERING: AcqRel on success — Release publishes the private
+            // writes to the new vector (pairs with latest()'s Acquire);
+            // Acquire orders the subsequent stale/safe_delete handling of
+            // the displaced vector after its publication. Acquire on
+            // failure: the retry re-reads the winner's vector next loop.
             let succ = self
                 .p
                 .compare_exchange(
@@ -402,6 +458,9 @@ impl LeashedShared {
             if succ {
                 // SAFETY: header arena keeps latest_raw alive.
                 let old = unsafe { &*latest_raw };
+                // ORDERING: SeqCst — flags P2 retirement inside the
+                // protocol's total order so no reader past its P3 check
+                // can be missed by the safe_delete that follows.
                 old.stale.store(true, Ordering::SeqCst);
                 old.safe_delete(&self.pool);
                 return PublishOutcome::Published {
@@ -415,6 +474,9 @@ impl LeashedShared {
             if let Some(tp) = persistence {
                 if failed > tp {
                     // Abandon: recycle the never-published vector.
+                    // ORDERING: SeqCst — same protocol as the success
+                    // path; the vector was never shared, so this only
+                    // feeds safe_delete's own checks.
                     new_pv.stale.store(true, Ordering::SeqCst);
                     new_pv.safe_delete(&self.pool);
                     return PublishOutcome::Aborted { failed_cas: failed };
@@ -437,6 +499,8 @@ impl Drop for LeashedShared {
         // Free all headers; their buffers belong to the pool, which
         // reclaims them in its own drop.
         while let Some(addr) = self.headers.pop() {
+            // Model checker: close the header's region before the free.
+            annotate::retire(addr, std::mem::size_of::<ParamVec>());
             // SAFETY: allocated via Box::into_raw in alloc_header; freed
             // exactly once, and only after all users are gone (&mut self).
             unsafe { drop(Box::from_raw(addr as *mut ParamVec)) };
@@ -671,6 +735,8 @@ mod tests {
                 sc.spawn(move || {
                     let grad = vec![-1.0; 128]; // eta 1.0 → +1 per component
                     let mut n = 0u64;
+                    // ORDERING: Relaxed — a test stop flag; it carries no
+                    // data, only "eventually observe true".
                     while !stop.load(Ordering::Relaxed) {
                         s.publish_update(&grad, 1.0, None, |_| {});
                         n += 1;
@@ -694,6 +760,7 @@ mod tests {
                 });
             }
             std::thread::sleep(std::time::Duration::from_millis(50));
+            // ORDERING: Relaxed — see the paired load above.
             stop.store(true, Ordering::Relaxed);
             let _ = writer.join();
         });

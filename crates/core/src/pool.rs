@@ -29,9 +29,18 @@
 //! a naive implementation of Algorithm 3's `new ParamVector()`.
 
 use crate::mem::MemoryGauge;
+use lsgd_check::annotate;
 use lsgd_sync::SegQueue;
 use parking_lot::Mutex;
 use std::collections::HashSet;
+// Deliberately std (not the lsgd_check shims): `outstanding` and
+// `outstanding_peak` are diagnostic tallies outside the verified
+// protocol; keeping them off the model scheduler keeps model-state
+// space focused on the real handoff atomics. The `registry` Mutex is
+// likewise model-safe as plain parking_lot: it is only taken around
+// straight-line code with no shimmed operation (= no model schedule
+// point) inside the critical section, so a model thread can never be
+// descheduled while holding it.
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -93,24 +102,32 @@ impl BufferPool {
             // Ordering: the releasing thread's writes to *addr are
             // visible here via the queue's push→pop release/acquire
             // edge; no extra fence is needed before handing the buffer
-            // to a new owner.
+            // to a new owner. The model checker verifies exactly this:
+            // a recycled buffer keeps its region identity (no re-fresh
+            // here), so the next owner's writes race with the previous
+            // owner's accesses unless the queue edge really orders them.
             self.gauge.note_reuse();
             addr as *mut f32
         } else {
             let boxed: Box<[f32]> = vec![0.0f32; self.dim].into_boxed_slice();
             let ptr = Box::into_raw(boxed) as *mut f32;
+            // Model checker: a genuinely new region; tracked until the
+            // pool retires it (eager free or pool drop).
+            annotate::fresh(ptr as usize, self.buf_bytes());
             self.gauge.add(self.buf_bytes());
             self.registry.lock().insert(ptr as usize);
             ptr
         };
-        // Ordering audit (PR 2): `outstanding`/`outstanding_peak` are
-        // Relaxed on purpose — they are diagnostic tallies that publish
-        // nothing; cross-thread exactness is only asserted after a
-        // `thread::scope` join, which is itself a synchronisation point.
-        // Buffer handoff correctness never reads them.
+        // ORDERING: Relaxed — `outstanding`/`outstanding_peak` are
+        // diagnostic tallies that publish nothing; cross-thread exactness
+        // is only asserted after a `thread::scope` join, which is itself
+        // a synchronisation point. Buffer handoff never reads them.
         let out = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        // ORDERING: Relaxed — see above; the peak CAS loop tolerates any
+        // interleaving and only ever ratchets upward.
         let mut peak = self.outstanding_peak.load(Ordering::Relaxed);
         while out > peak {
+            // ORDERING: Relaxed — see above.
             match self.outstanding_peak.compare_exchange_weak(
                 peak,
                 out,
@@ -132,6 +149,7 @@ impl BufferPool {
     /// pool and must not be accessed after release.
     pub unsafe fn release(&self, ptr: *mut f32) {
         debug_assert!(!ptr.is_null());
+        // ORDERING: Relaxed — diagnostic tally; see `acquire`.
         self.outstanding.fetch_sub(1, Ordering::Relaxed);
         if self.recycle {
             // The queue's push is a release operation on the slot that
@@ -143,6 +161,9 @@ impl BufferPool {
         } else {
             let removed = self.registry.lock().remove(&(ptr as usize));
             debug_assert!(removed, "released pointer not owned by this pool");
+            // Model checker: eager mode really frees — close the region
+            // so any straggling access is a use-after-free report.
+            annotate::retire(ptr as usize, self.buf_bytes());
             let slice: *mut [f32] = std::ptr::slice_from_raw_parts_mut(ptr, self.dim);
             drop(Box::from_raw(slice));
             self.gauge.sub(self.buf_bytes());
@@ -151,12 +172,14 @@ impl BufferPool {
 
     /// Buffers currently held by callers (not on the free list).
     pub fn outstanding(&self) -> usize {
+        // ORDERING: Relaxed — diagnostic; exact only after a join.
         self.outstanding.load(Ordering::Relaxed)
     }
 
     /// High-water mark of concurrently outstanding buffers — the quantity
     /// Lemma 2 bounds by `3m`.
     pub fn outstanding_peak(&self) -> usize {
+        // ORDERING: Relaxed — diagnostic; exact only after a join.
         self.outstanding_peak.load(Ordering::Relaxed)
     }
 
@@ -176,6 +199,9 @@ impl Drop for BufferPool {
         let registry = std::mem::take(&mut *self.registry.lock());
         for addr in registry {
             let ptr = addr as *mut f32;
+            // Model checker: close the region (post-join, so no recorded
+            // access can be concurrent with this free).
+            annotate::retire(addr, self.buf_bytes());
             // SAFETY: allocated by `acquire` via Box<[f32]> of len dim and
             // not yet freed (eager frees remove themselves from the
             // registry).

@@ -265,14 +265,19 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
             // reacted to promptly.
             let slice = cfg.eval_every.min(Duration::from_millis(20));
             let mut slept = Duration::ZERO;
+            // ORDERING: Relaxed — `stop` is an eventually-observed flag;
+            // it carries no data (workers re-check it every iteration).
             while slept < cfg.eval_every && !control.stop.load(Ordering::Relaxed) {
                 std::thread::sleep(slice);
                 slept += slice;
             }
             let elapsed = start.elapsed();
+            // ORDERING: Relaxed — monotone progress tally; the monitor
+            // tolerates slightly stale counts (it re-reads next round).
             let published = control.total_published.load(Ordering::Relaxed);
 
             shared.snapshot_into(&mut snapshot);
+            // ORDERING: Relaxed — crash flag, eventually observed.
             let loss = if control.crashed.load(Ordering::Relaxed) {
                 f64::NAN
             } else {
@@ -289,6 +294,10 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
             }
             let budget_out =
                 elapsed >= cfg.max_wall || published >= cfg.max_updates;
+            // ORDERING: Relaxed load — flag check as above. SeqCst store:
+            // the final verdict; keeps the terminal stop in one total
+            // order with workers' crash/stop stores so no worker can
+            // observe a "later" state that un-stops the run.
             if done || budget_out || control.stop.load(Ordering::Relaxed) {
                 control.stop.store(true, Ordering::SeqCst);
                 break;
@@ -424,6 +433,8 @@ fn run_worker<P: Problem>(
     gauge.add(vec_bytes); // local gradient buffer
     let mut sparsify_scratch = Vec::new();
     let mut velocity = Vec::new();
+    // ORDERING: Relaxed — stop is an eventually-observed flag; the
+    // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
         let iter_start = Instant::now();
         let t0;
@@ -438,7 +449,11 @@ fn run_worker<P: Problem>(
             stats.tc.record(tc_start.elapsed().as_secs_f64());
         }
         if !loss.is_finite() {
+            // ORDERING: SeqCst pair — crash must be visible no later
+            // than stop in the single total order, so the monitor that
+            // sees stop cannot miss the crash verdict behind it.
             control.crashed.store(true, Ordering::SeqCst);
+            // ORDERING: SeqCst — see above.
             control.stop.store(true, Ordering::SeqCst);
             break;
         }
@@ -469,6 +484,8 @@ fn run_worker<P: Problem>(
                 // update was first ready to publish (§IV.2); exactly 0 for
                 // every published update when Tp = 0.
                 stats.tau_s.record(t_new - 1 - t_first_base);
+                // ORDERING: Relaxed — monotone progress tally; exact
+                // totals are only read after the scope join.
                 control.total_published.fetch_add(1, Ordering::Relaxed);
             }
             PublishOutcome::Aborted { failed_cas } => {
@@ -520,6 +537,8 @@ fn run_sharded_worker<P: Problem>(
     // The sparse-native path bypasses the dense gradient buffer entirely;
     // momentum needs a dense velocity fold, so it forces the dense path.
     let sparse_native_ok = cfg.momentum == 0.0 && cfg.sparsify.is_none();
+    // ORDERING: Relaxed — stop is an eventually-observed flag; the
+    // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
         let iter_start = Instant::now();
         {
@@ -542,7 +561,11 @@ fn run_sharded_worker<P: Problem>(
         }
         stats.tc.record(tc_start.elapsed().as_secs_f64());
         if !loss.is_finite() {
+            // ORDERING: SeqCst pair — crash must be visible no later
+            // than stop in the single total order, so the monitor that
+            // sees stop cannot miss the crash verdict behind it.
             control.crashed.store(true, Ordering::SeqCst);
+            // ORDERING: SeqCst — see above.
             control.stop.store(true, Ordering::SeqCst);
             break;
         }
@@ -600,6 +623,7 @@ fn run_sharded_worker<P: Problem>(
             stats.staleness.record(outcome.tau_max);
             stats.tau_s.record(outcome.tau_s_max);
             stats.dirty_shards.record(outcome.dirty as u64);
+            // ORDERING: Relaxed — monotone progress tally; see above.
             control.total_published.fetch_add(1, Ordering::Relaxed);
         } else {
             stats.aborted += 1;
@@ -625,6 +649,8 @@ fn run_locked_worker<P: Problem>(
 ) -> WorkerStats {
     let mut velocity: Vec<f32> = Vec::new();
     let mut sparsify_scratch = Vec::new();
+    // ORDERING: Relaxed — stop is an eventually-observed flag; the
+    // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
         let iter_start = Instant::now();
         let t0 = shared.read_into(local); // lock, copy, unlock
@@ -632,7 +658,11 @@ fn run_locked_worker<P: Problem>(
         let loss = problem.grad(local, grad, scratch, rng);
         stats.tc.record(tc_start.elapsed().as_secs_f64());
         if !loss.is_finite() {
+            // ORDERING: SeqCst pair — crash must be visible no later
+            // than stop in the single total order, so the monitor that
+            // sees stop cannot miss the crash verdict behind it.
             control.crashed.store(true, Ordering::SeqCst);
+            // ORDERING: SeqCst — see above.
             control.stop.store(true, Ordering::SeqCst);
             break;
         }
@@ -648,6 +678,7 @@ fn run_locked_worker<P: Problem>(
         stats.tu.record(tu_start.elapsed().as_secs_f64());
         stats.staleness.record(t_pub - 1 - t0);
         stats.published += 1;
+        // ORDERING: Relaxed — monotone progress tally; see above.
         control.total_published.fetch_add(1, Ordering::Relaxed);
         stats.iter_time.record(iter_start.elapsed().as_secs_f64());
     }
@@ -669,6 +700,8 @@ fn run_hogwild_worker<P: Problem>(
 ) -> WorkerStats {
     let mut velocity: Vec<f32> = Vec::new();
     let mut sparsify_scratch = Vec::new();
+    // ORDERING: Relaxed — stop is an eventually-observed flag; the
+    // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
         let iter_start = Instant::now();
         let t0 = shared.read_into(local); // unsynchronised copy
@@ -676,7 +709,11 @@ fn run_hogwild_worker<P: Problem>(
         let loss = problem.grad(local, grad, scratch, rng);
         stats.tc.record(tc_start.elapsed().as_secs_f64());
         if !loss.is_finite() {
+            // ORDERING: SeqCst pair — crash must be visible no later
+            // than stop in the single total order, so the monitor that
+            // sees stop cannot miss the crash verdict behind it.
             control.crashed.store(true, Ordering::SeqCst);
+            // ORDERING: SeqCst — see above.
             control.stop.store(true, Ordering::SeqCst);
             break;
         }
@@ -692,6 +729,7 @@ fn run_hogwild_worker<P: Problem>(
         stats.tu.record(tu_start.elapsed().as_secs_f64());
         stats.staleness.record(t_pub - 1 - t0);
         stats.published += 1;
+        // ORDERING: Relaxed — monotone progress tally; see above.
         control.total_published.fetch_add(1, Ordering::Relaxed);
         stats.iter_time.record(iter_start.elapsed().as_secs_f64());
     }

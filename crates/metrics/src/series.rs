@@ -17,7 +17,7 @@ impl Series {
     /// debug builds).
     pub fn push(&mut self, t_secs: f64, value: f64) {
         debug_assert!(
-            self.points.last().is_none_or(|&(pt, _)| t_secs >= pt),
+            self.points.last().map_or(true, |&(pt, _)| t_secs >= pt),
             "time must be non-decreasing"
         );
         self.points.push((t_secs, value));

@@ -197,6 +197,7 @@ impl RowsPtr {
     /// before returning), and no two live references to the same row may
     /// exist — upheld by giving each task a disjoint row range.
     #[inline]
+    #[allow(clippy::mut_from_ref)] // disjoint-row aliasing is the caller's contract, per above
     pub(crate) unsafe fn row(&self, r: usize) -> &mut [f32] {
         std::slice::from_raw_parts_mut(self.ptr.add(r * self.stride), self.stride)
     }

@@ -291,9 +291,9 @@ impl Network {
 }
 
 /// Per-thread scratch: activation stack, gradient ping-pong buffers,
-/// layer caches, and the per-step compute context (prepacked panel cache
-/// + parallelism policy). Create one per worker via
-/// [`Network::workspace`].
+/// layer caches, and the per-step compute context (prepacked panel
+/// cache plus parallelism policy). Create one per worker
+/// via [`Network::workspace`].
 pub struct Workspace {
     activations: Vec<Matrix>,
     grad_a: Matrix,

@@ -41,8 +41,18 @@ impl Backoff {
     /// Backs off while waiting for another thread to *complete a started
     /// step*: spins briefly, then yields the timeslice so the awaited
     /// thread can be scheduled.
+    ///
+    /// Under the model checker every `snooze` yields immediately: the
+    /// scheduler deprioritizes this thread until the awaited one has
+    /// run, which is what keeps wait loops from generating unbounded
+    /// schedules (spinning would never let the model make progress —
+    /// there is no preemption inside a model thread's turn).
     #[inline]
     pub fn snooze(&mut self) {
+        if lsgd_check::model_active() {
+            lsgd_check::thread::yield_now();
+            return;
+        }
         if self.step <= SPIN_LIMIT {
             for _ in 0..1u32 << self.step {
                 hint::spin_loop();

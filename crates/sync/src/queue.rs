@@ -78,18 +78,22 @@
 //! synchronisation.
 
 use crate::backoff::Backoff;
-use std::cell::UnsafeCell;
+use lsgd_check::annotate;
+use lsgd_check::sync::{fence, AtomicPtr, AtomicUsize, Ordering, UnsafeCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{self, AtomicPtr, AtomicUsize, Ordering};
 
 /// Slots per segment. One less than [`LAP`] so that, per segment lap,
 /// index offset `SEG_CAP` is a reserved "cursor is mid-hop to the next
 /// segment" state distinguishable from every claimable slot.
-pub const SEG_CAP: usize = 31;
+///
+/// Under `--cfg lsgd_model` the capacity drops to 3 so model tests hit
+/// segment boundaries (successor install, teardown handoff) within a
+/// handful of operations instead of 31.
+pub const SEG_CAP: usize = if cfg!(lsgd_model) { 3 } else { 31 };
 
 /// Indices advance by `LAP` per segment (offset `SEG_CAP` is the hop
 /// marker; see [`SEG_CAP`]).
-const LAP: usize = 32;
+const LAP: usize = SEG_CAP + 1;
 
 /// Slot state bit: the pusher has finished writing the value.
 const WRITTEN: usize = 1;
@@ -174,6 +178,7 @@ impl<T> Segment<T> {
             }
         }
         // Every slot is CONSUMED: no thread can touch `seg` again.
+        annotate::retire(seg as usize, std::mem::size_of::<Segment<T>>());
         drop(Box::from_raw(seg));
     }
 }
@@ -249,6 +254,9 @@ impl<T> SegQueue<T> {
             if seg.is_null() {
                 // First-ever push: race to install the initial segment.
                 let first = Box::into_raw(Segment::new_boxed());
+                // ORDERING: failure side is Relaxed — the loser only
+                // reclaims its own never-published allocation and
+                // re-reads the cursors with Acquire below.
                 if self
                     .tail
                     .0
@@ -256,6 +264,7 @@ impl<T> SegQueue<T> {
                     .compare_exchange(seg, first, Ordering::Release, Ordering::Relaxed)
                     .is_ok()
                 {
+                    annotate::fresh(first as usize, std::mem::size_of::<Segment<T>>());
                     self.head.0.segment.store(first, Ordering::Release);
                     seg = first;
                 } else {
@@ -268,6 +277,10 @@ impl<T> SegQueue<T> {
             }
 
             let new_tail = tail + (1 << SHIFT);
+            // ORDERING: SeqCst on the claim CAS pairs with the SeqCst
+            // fence in pop's empty check — a pop that still sees
+            // head == tail after its fence is guaranteed no push
+            // completed a claim before the pop's head load.
             match self.tail.0.index.compare_exchange_weak(
                 tail,
                 new_tail,
@@ -280,6 +293,7 @@ impl<T> SegQueue<T> {
                     // pushers stop spinning as soon as possible.
                     if offset + 1 == SEG_CAP {
                         let next = Box::into_raw(next_seg.take().unwrap());
+                        annotate::fresh(next as usize, std::mem::size_of::<Segment<T>>());
                         // Hop the cursor over the reserved offset.
                         let next_index = new_tail.wrapping_add(1 << SHIFT);
                         self.tail.0.segment.store(next, Ordering::Release);
@@ -290,8 +304,17 @@ impl<T> SegQueue<T> {
                     // is the producer half of the module-docs ordering
                     // contract.
                     let slot = &(*seg).slots[offset];
-                    slot.value.get().write(MaybeUninit::new(value));
+                    // SAFETY: this pusher won the claim CAS for `offset`,
+                    // so it is the slot's only writer.
+                    slot.value.with_mut(|p| p.write(MaybeUninit::new(value)));
+                    #[cfg(not(lsgd_mutate_relaxed_written))]
                     slot.state.fetch_or(WRITTEN, Ordering::Release);
+                    // ORDERING: deliberately wrong — this cfg exists so
+                    // the model checker's mutation test can prove it
+                    // detects the weakened publication (see
+                    // crates/sync/tests/model_queue.rs).
+                    #[cfg(lsgd_mutate_relaxed_written)]
+                    slot.state.fetch_or(WRITTEN, Ordering::Relaxed);
                     return;
                 },
                 Err(current) => {
@@ -334,9 +357,17 @@ impl<T> SegQueue<T> {
                 // orders this re-read after the head load, so a push
                 // that completed before the head load cannot be missed.
                 // This keeps the fence off the hot non-empty path.
+                // ORDERING: Relaxed tail reads are safe because lag only
+                // underestimates (see the comment above); the SeqCst
+                // fence pairs with the SeqCst claim CASes to make the
+                // "looks empty" answer authoritative.
                 let mut tail = self.tail.0.index.load(Ordering::Relaxed);
                 if head >> SHIFT == tail >> SHIFT {
-                    atomic::fence(Ordering::SeqCst);
+                    // ORDERING: the SeqCst fence pairs with the SeqCst
+                    // claim CASes (see the comment above); the Relaxed
+                    // re-read after it is then authoritative.
+                    fence(Ordering::SeqCst);
+                    // ORDERING: Relaxed — ordered by the fence above.
                     tail = self.tail.0.index.load(Ordering::Relaxed);
                     if head >> SHIFT == tail >> SHIFT {
                         return None;
@@ -360,6 +391,9 @@ impl<T> SegQueue<T> {
                 continue;
             }
 
+            // ORDERING: SeqCst on the claim CAS pairs with the SeqCst
+            // fence in the empty check above (same contract as the tail
+            // CAS in push).
             match self.head.0.index.compare_exchange_weak(
                 head,
                 new_head,
@@ -376,6 +410,10 @@ impl<T> SegQueue<T> {
                         // then (below) initiate teardown.
                         let next = (*seg).await_next();
                         let mut next_index = (new_head & !HAS_NEXT).wrapping_add(1 << SHIFT);
+                        // ORDERING: Relaxed — a lagging null read only
+                        // under-sets the HAS_NEXT hint, which the next
+                        // pop re-derives the slow way; never a
+                        // correctness input.
                         if !(*next).next.load(Ordering::Relaxed).is_null() {
                             next_index |= HAS_NEXT;
                         }
@@ -384,7 +422,10 @@ impl<T> SegQueue<T> {
                     }
                     let slot = &(*seg).slots[offset];
                     slot.await_written();
-                    let value = slot.value.get().read().assume_init();
+                    // SAFETY: this popper won the claim CAS for `offset`
+                    // and WRITTEN is set, so the value is initialised and
+                    // this is its only reader; the read moves it out.
+                    let value = slot.value.with_mut(|p| p.read()).assume_init();
                     if offset + 1 == SEG_CAP {
                         // Popper of the last slot initiates teardown; its
                         // own slot needs no CONSUMED mark (it *is* the
@@ -408,7 +449,11 @@ impl<T> SegQueue<T> {
 
     /// Whether the queue is empty at the instant of the check.
     pub fn is_empty(&self) -> bool {
+        // ORDERING: SeqCst puts both cursor reads in the single total
+        // order with the SeqCst claim CASes, so the answer reflects a
+        // real instant rather than two unrelated lagging reads.
         let head = self.head.0.index.load(Ordering::SeqCst);
+        // ORDERING: SeqCst — see above.
         let tail = self.tail.0.index.load(Ordering::SeqCst);
         head >> SHIFT == tail >> SHIFT
     }
@@ -416,9 +461,13 @@ impl<T> SegQueue<T> {
     /// Number of elements at the instant of a consistent index snapshot.
     pub fn len(&self) -> usize {
         loop {
+            // ORDERING: SeqCst as in is_empty; the tail re-read below
+            // additionally validates the pair as one snapshot.
             let mut tail = self.tail.0.index.load(Ordering::SeqCst);
+            // ORDERING: SeqCst — see above.
             let mut head = self.head.0.index.load(Ordering::SeqCst);
             // Re-read to make sure the pair is a consistent snapshot.
+            // ORDERING: SeqCst — validates the pair as one snapshot.
             if self.tail.0.index.load(Ordering::SeqCst) == tail {
                 // Strip HAS_NEXT, then normalise mid-hop cursors (offset
                 // SEG_CAP counts as the start of the next segment).
@@ -470,12 +519,14 @@ impl<T> Drop for SegQueue<T> {
                     (*slot.value.get()).assume_init_drop();
                 } else {
                     let next = *(*seg).next.get_mut();
+                    annotate::retire(seg as usize, std::mem::size_of::<Segment<T>>());
                     drop(Box::from_raw(seg));
                     seg = next;
                 }
                 head = head.wrapping_add(1 << SHIFT);
             }
             if !seg.is_null() {
+                annotate::retire(seg as usize, std::mem::size_of::<Segment<T>>());
                 drop(Box::from_raw(seg));
             }
         }
@@ -571,6 +622,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 40k-element stress loop: minutes under Miri, no extra coverage
     fn concurrent_mpmc_conserves_elements() {
         let q = Arc::new(SegQueue::new());
         let producers = 4u64;

@@ -1,0 +1,149 @@
+//! Model checks for `SegQueue`: exactly-once FIFO delivery, segment
+//! teardown/reclamation (no leak, no double free, no use-after-free),
+//! and the mutation test proving the checker catches a weakened
+//! publication ordering.
+//!
+//! Run with `RUSTFLAGS="--cfg lsgd_model" cargo test -p lsgd_sync --test
+//! model_queue`. Under the model, `SEG_CAP == 3`, so a handful of
+//! operations crosses segment boundaries and exercises successor
+//! install and teardown handoff. The mutation test additionally needs
+//! `--cfg lsgd_mutate_relaxed_written`, which flips the WRITTEN
+//! `Release` store in `push` to `Relaxed`; the regular invariants are
+//! compiled out under that cfg because they would (correctly) fail.
+#![cfg(lsgd_model)]
+
+use lsgd_check::thread;
+use lsgd_sync::queue::SEG_CAP;
+use lsgd_sync::SegQueue;
+use std::sync::Arc;
+
+/// Pops until a value arrives, yielding so the model scheduler runs the
+/// producer instead of spinning this thread forever.
+fn pop_blocking(q: &SegQueue<u64>) -> u64 {
+    loop {
+        if let Some(v) = q.pop() {
+            return v;
+        }
+        thread::yield_now();
+    }
+}
+
+/// One producer, one consumer, enough values to cross a segment
+/// boundary: every value arrives exactly once, in order, across all
+/// explored schedules.
+#[cfg(not(lsgd_mutate_relaxed_written))]
+#[test]
+fn spsc_delivers_exactly_once_in_order() {
+    let n = (SEG_CAP + 1) as u64;
+    lsgd_check::model(move || {
+        let q = Arc::new(SegQueue::new());
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                q2.push(i);
+            }
+        });
+        let mut got = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            got.push(pop_blocking(&q));
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "lost, duplicated, or reordered");
+        assert!(q.pop().is_none(), "queue must be empty after n pops");
+    });
+}
+
+/// Two concurrent producers racing the tail claim and the successor
+/// install; the consumer must see each producer's values exactly once
+/// and in per-producer order.
+#[cfg(not(lsgd_mutate_relaxed_written))]
+#[test]
+fn mpsc_conserves_and_orders_per_producer() {
+    lsgd_check::model(|| {
+        let q = Arc::new(SegQueue::new());
+        let per = 2u64;
+        let producers: Vec<_> = (0..2u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..per {
+                        q.push(p * 100 + i);
+                    }
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        for _ in 0..2 * per {
+            got.push(pop_blocking(&q));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut a: Vec<u64> = got.iter().copied().filter(|v| *v < 100).collect();
+        let mut b: Vec<u64> = got.iter().copied().filter(|v| *v >= 100).collect();
+        assert_eq!(a.len() + b.len(), 2 * per as usize);
+        // FIFO holds per producer even when pushes interleave.
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "producer 0 reordered: {a:?}");
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "producer 1 reordered: {b:?}");
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, (0..per).collect::<Vec<_>>());
+        assert_eq!(b, (100..100 + per).collect::<Vec<_>>());
+    });
+}
+
+/// Two poppers draining a pre-filled queue across a segment boundary:
+/// exercises the CONSUMED/ABANDONED teardown handoff. The checker's
+/// region tracking turns any double free, use-after-free, or leaked
+/// segment in any explored schedule into a failure.
+#[cfg(not(lsgd_mutate_relaxed_written))]
+#[test]
+fn concurrent_poppers_hand_off_teardown_safely() {
+    let n = SEG_CAP + 1;
+    lsgd_check::model(move || {
+        let q = Arc::new(SegQueue::new());
+        for i in 0..n as u64 {
+            q.push(i);
+        }
+        let per = n / 2;
+        let poppers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || (0..per).map(|_| pop_blocking(&q)).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = poppers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n as u64).collect::<Vec<_>>(), "slot lost or duplicated");
+        assert!(q.pop().is_none());
+    });
+}
+
+/// THE mutation test: with `--cfg lsgd_mutate_relaxed_written`, push's
+/// WRITTEN store is `Relaxed` instead of `Release`, so the popper's
+/// value read has no happens-before edge to the pusher's value write.
+/// The checker must report that as a data race — proving a green run of
+/// the other tests actually depends on the ordering being `Release`.
+#[cfg(lsgd_mutate_relaxed_written)]
+#[test]
+fn weakened_written_release_is_caught() {
+    let report = lsgd_check::explore(lsgd_check::Config::default(), || {
+        let q = Arc::new(SegQueue::new());
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(7u64));
+        assert_eq!(pop_blocking(&q), 7);
+        let _ = producer.join();
+    });
+    let failure = report
+        .failure
+        .expect("the Release→Relaxed mutation must be detected");
+    assert!(
+        failure.message.contains("data race"),
+        "expected a data-race report, got: {}",
+        failure.message
+    );
+    assert!(!failure.seed.is_empty(), "failure must carry a replay seed");
+}

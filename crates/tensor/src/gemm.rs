@@ -411,6 +411,11 @@ impl ASource<'_> {
     }
 }
 
+/// A caller-supplied block packer: `pack(dst, k0, j0, kc, nc)` fills
+/// `dst` with the panel-layout block `[k0..k0+kc) x [j0..j0+nc)` of the
+/// logical operand (see [`BSource::Packer`]).
+pub type BlockPacker<'a> = dyn Fn(&mut [f32], usize, usize, usize, usize) + Sync + 'a;
+
 /// Where the `B` operand of a [`gemm_flex`] call comes from.
 pub enum BSource<'a> {
     /// A row-major slice packed fresh per cache block (the classic path).
@@ -433,7 +438,7 @@ pub enum BSource<'a> {
     /// the operand and calling [`gemm_slices`].
     Packer {
         /// Block packer: `(dst, k0, j0, kc, nc)`.
-        pack: &'a (dyn Fn(&mut [f32], usize, usize, usize, usize) + Sync),
+        pack: &'a BlockPacker<'a>,
         /// Logical `(k, n)` of the operand.
         shape: (usize, usize),
     },
@@ -639,7 +644,7 @@ enum BRef<'a> {
     /// Serve blocks from a full prepacked operand.
     Pre(&'a PackedB),
     /// Generate blocks with a caller-supplied packer (fused im2col).
-    Custom(&'a (dyn Fn(&mut [f32], usize, usize, usize, usize) + Sync)),
+    Custom(&'a BlockPacker<'a>),
 }
 
 /// Serial packed kernel over the rectangle `rows × cols` of `C`.
@@ -679,6 +684,7 @@ unsafe fn packed_gemm_rect(
 ///
 /// # Safety
 /// Same contract as [`packed_gemm_rect`].
+#[allow(clippy::too_many_arguments)]
 unsafe fn flex_gemm_rect(
     alpha: f32,
     a: &ASource<'_>,

@@ -53,6 +53,8 @@ impl ForJob {
     /// frame while other threads still hold `f`.
     fn run(&self) {
         loop {
+            // ORDERING: Relaxed — a pure work-claim ticket counter; task
+            // data is published by the job installation, not here.
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.total {
                 return;
@@ -249,8 +251,10 @@ mod tests {
         let pool = ThreadPool::new(4);
         let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
         pool.parallel_for(hits.len(), &|i| {
+            // ORDERING: Relaxed — test tally read after join.
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
+        // ORDERING: Relaxed — read after parallel_for returns (joined).
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
@@ -260,8 +264,10 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         let sum = AtomicU64::new(0);
         pool.parallel_for(10, &|i| {
+            // ORDERING: Relaxed — test tally read after join.
             sum.fetch_add(i as u64, Ordering::Relaxed);
         });
+        // ORDERING: Relaxed — read after parallel_for returns (joined).
         assert_eq!(sum.load(Ordering::Relaxed), 45);
     }
 
@@ -271,8 +277,10 @@ mod tests {
         for round in 0..50 {
             let count = AtomicU64::new(0);
             pool.parallel_for(round % 7 + 1, &|_| {
+                // ORDERING: Relaxed — test tally read after join.
                 count.fetch_add(1, Ordering::Relaxed);
             });
+            // ORDERING: Relaxed — read after parallel_for returns.
             assert_eq!(count.load(Ordering::Relaxed), (round % 7 + 1) as u64);
         }
     }
@@ -297,8 +305,10 @@ mod tests {
         // Workers caught the unwind, so the pool keeps working.
         let count = AtomicU64::new(0);
         pool.parallel_for(8, &|_| {
+            // ORDERING: Relaxed — test tally read after join.
             count.fetch_add(1, Ordering::Relaxed);
         });
+        // ORDERING: Relaxed — read after parallel_for returns (joined).
         assert_eq!(count.load(Ordering::Relaxed), 8);
     }
 

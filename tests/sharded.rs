@@ -166,14 +166,13 @@ fn consistent_snapshot_never_observes_torn_seq_vector() {
                     let snap = sh.snapshot(SnapshotMode::Consistent, u32::MAX);
                     assert!(snap.is_consistent(), "unbounded retries must validate");
                     let seqs = snap.seqs().to_vec();
-                    for s in 0..num_shards {
+                    for (s, &seq) in seqs.iter().enumerate().take(num_shards) {
                         let th = snap.shard_theta(s);
                         assert_eq!(th.len(), width);
                         for &v in th {
                             assert_eq!(
-                                v as u64, seqs[s],
-                                "torn shard {s}: contents {v} vs seq {}",
-                                seqs[s]
+                                v as u64, seq,
+                                "torn shard {s}: contents {v} vs seq {seq}"
                             );
                         }
                     }

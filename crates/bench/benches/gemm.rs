@@ -7,8 +7,8 @@
 //! * `naive/*`    — the retained pre-packing kernel
 //!   ([`lsgd_tensor::gemm::gemm_naive`]), kept as the regression baseline,
 //! * `parallel/*` — [`lsgd_tensor::gemm::gemm_parallel`] over the global
-//!   worker pool (equals `packed` when the host or `LSGD_GEMM_THREADS`
-//!   gives the pool a single thread, or for sub-threshold products).
+//!   work-stealing runtime (equals `packed` when the host or `LSGD_THREADS`
+//!   gives the runtime a single thread, or for sub-threshold products).
 //!
 //! Set `LSGD_BENCH_SMOKE=1` to shrink warm-up/measurement windows — used
 //! by the CI smoke step so throughput regressions show up in logs without

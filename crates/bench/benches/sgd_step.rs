@@ -36,7 +36,7 @@ use lsgd_data::SynthDigits;
 use lsgd_nn::ComputeOpts;
 use lsgd_tensor::SmallRng64;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Step size: small enough that thousands of benchmark steps cannot
 /// destabilise the iterates (a diverged `theta` would change gradient
@@ -153,6 +153,65 @@ fn bench_workload<P: Problem>(
     }
 }
 
+/// Fig. 3-style worker-scaling rows: `workers` concurrent trainer-style
+/// tasks step against one shared backend, scheduled as scoped tasks on
+/// the unified work-stealing runtime (exactly how [`lsgd_core::train`]
+/// runs its workers, including any intra-step GEMM splits sharing the
+/// same worker threads). One timed iteration = every worker completes
+/// one step, so the `elements` throughput is `d × workers`: under
+/// perfect scaling the per-iteration latency stays flat as `workers`
+/// grows and `Melem/s` grows linearly; lock contention (SEQ) shows up
+/// as latency growth instead.
+fn bench_scaling<P: Problem>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    problem: &P,
+    workers: usize,
+    algos: &[&str],
+) {
+    let theta0 = problem.init_theta(1);
+    let dim = problem.dim();
+    group.throughput(Throughput::Elements((dim * workers) as u64));
+    let rt = lsgd_runtime::global();
+    for &kind in algos {
+        let shared = Shared::build(kind, &theta0, workers);
+        // Per-worker step state, handed to the scoped tasks through
+        // `iter_mut` the same way the trainer distributes stats slots.
+        let mut states: Vec<_> = (0..workers)
+            .map(|w| {
+                (
+                    vec![0.0f32; dim],
+                    vec![0.0f32; dim],
+                    Vec::<(u32, f32)>::new(),
+                    problem.scratch(),
+                    SmallRng64::new(99 ^ (w as u64).wrapping_mul(0x9e3779b97f4a7c15)),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("scaling_{name}_w{workers}"), kind),
+            &(),
+            |bench, _| {
+                bench.iter_custom(|iters| {
+                    let shared = &shared;
+                    let start = Instant::now();
+                    rt.scope(|scope| {
+                        for st in states.iter_mut() {
+                            scope.spawn(move || {
+                                let (local, grad, pairs, scratch, rng) = st;
+                                for _ in 0..iters {
+                                    shared.step(problem, local, grad, pairs, scratch, rng);
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                });
+            },
+        );
+    }
+}
+
 fn bench_sgd_step(c: &mut Criterion) {
     let smoke = std::env::var("LSGD_BENCH_SMOKE").is_ok();
     let mut group = c.benchmark_group("sgd_step");
@@ -191,6 +250,15 @@ fn bench_sgd_step(c: &mut Criterion) {
     // sharded row exercises the native sparse dirty-shard publication.
     let logreg = SparseLogRegProblem::new(sparse_logreg(2 * samples, 16_384, 12, 9), 16);
     bench_workload(&mut group, "sparse_logreg", &logreg, &all);
+
+    // Fig. 3-style scaling: m ∈ {1, 2, 4} concurrent workers on the
+    // unified runtime, NN workloads × {SEQ, HOG, LSH}. The w1 medians
+    // double as a regression check against the single-worker rows above.
+    let scaling: [&str; 3] = ["SEQ", "HOG", "LSH"];
+    for &workers in &[1usize, 2, 4] {
+        bench_scaling(&mut group, "mlp", &mlp, workers, &scaling);
+        bench_scaling(&mut group, "cnn", &cnn, workers, &scaling);
+    }
 
     group.finish();
 }

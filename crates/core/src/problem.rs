@@ -25,18 +25,11 @@ pub trait Problem: Send + Sync {
     /// Samples the initial parameter vector (the paper's `rand_init`).
     fn init_theta(&self, seed: u64) -> Vec<f32>;
 
-    /// Creates per-thread scratch.
+    /// Creates per-thread scratch. Problems with intra-step parallelism
+    /// (e.g. [`NnProblem`]'s GEMM fan-out) run their splits on the shared
+    /// work-stealing runtime, so `m` trainer workers can never
+    /// oversubscribe the machine — no per-worker sizing is needed here.
     fn scratch(&self) -> Self::Scratch;
-
-    /// Creates per-thread scratch for a run with `workers` concurrent
-    /// gradient workers. Defaults to [`Problem::scratch`]; problems
-    /// whose scratch embeds intra-step parallelism (e.g. [`NnProblem`]'s
-    /// GEMM fan-out) override this to divide the machine between
-    /// workers instead of letting `m` workers oversubscribe the shared
-    /// pool.
-    fn scratch_for_workers(&self, _workers: usize) -> Self::Scratch {
-        self.scratch()
-    }
 
     /// Computes a stochastic minibatch gradient of the loss at `theta`
     /// into `grad` (overwriting it); returns the minibatch loss.
@@ -161,22 +154,6 @@ impl Problem for NnProblem {
 
     fn scratch(&self) -> NnScratch {
         self.scratch_with(self.compute.clone())
-    }
-
-    fn scratch_for_workers(&self, workers: usize) -> NnScratch {
-        let mut opts = self.compute.clone();
-        // With m trainer workers already occupying the cores, per-worker
-        // GEMM fan-out must not fight them for cycles (the paper's
-        // scalability measurements depend on workers being independent):
-        // give each worker its share of the machine, serial when the
-        // trainer alone saturates it. Explicit opts are respected.
-        if workers > 1 && opts.threads == usize::MAX && opts.pool.is_none() {
-            let cores = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
-            opts.threads = (cores / workers).max(1);
-        }
-        self.scratch_with(opts)
     }
 
     fn grad(

@@ -203,9 +203,10 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
     let gauge = Arc::new(MemoryGauge::new());
 
     let theta0 = problem.init_theta(cfg.seed);
-    // The monitor evaluates concurrently with the workers, so it obeys
-    // the same fan-out budget they do.
-    let mut monitor_scratch = problem.scratch_for_workers(threads);
+    // The monitor evaluates concurrently with the workers; its splits
+    // run on the same work-stealing runtime, so no fan-out budget is
+    // needed.
+    let mut monitor_scratch = problem.scratch();
     let initial_loss = problem.eval_loss(&theta0, &mut monitor_scratch);
 
     let shared = match cfg.algorithm {
@@ -246,69 +247,85 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
     let start = Instant::now();
     let mut merged = WorkerStats::new(cfg.staleness_cap);
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for worker_id in 0..threads {
-            let shared = &shared;
-            let control = &control;
-            let cfg_ref = &*cfg;
-            handles.push(scope.spawn(move || {
-                run_worker(problem, shared, control, cfg_ref, worker_id, threads)
-            }));
-        }
-
-        // ---- Monitor loop (paper §V.2: halts executions at ε, flags
-        // Crash on numerical instability, samples memory). ----
-        let mut snapshot = vec![0.0f32; dim];
-        loop {
-            // Sleep in small slices so worker-side crash/budget stops are
-            // reacted to promptly.
-            let slice = cfg.eval_every.min(Duration::from_millis(20));
-            let mut slept = Duration::ZERO;
-            // ORDERING: Relaxed — `stop` is an eventually-observed flag;
-            // it carries no data (workers re-check it every iteration).
-            while slept < cfg.eval_every && !control.stop.load(Ordering::Relaxed) {
-                std::thread::sleep(slice);
-                slept += slice;
+    // Workers and the monitor all run as tasks of the unified runtime: the
+    // same workers also execute the intra-step GEMM splits the tasks fan
+    // out, so m trainer workers × GEMM parallelism can never oversubscribe
+    // the machine (scoped tasks beyond the runtime width degrade to
+    // dedicated threads, preserving the old `thread::scope` semantics).
+    // Each task writes its results through a disjoint `&mut` slot.
+    let mut stats_slots: Vec<Option<WorkerStats>> = (0..threads).map(|_| None).collect();
+    {
+        // Monitor-owned state, moved into its task as one bundle.
+        let monitor_scratch = &mut monitor_scratch;
+        let tracker = &mut tracker;
+        let iters_to_eps = &mut iters_to_eps;
+        let loss_trace = &mut loss_trace;
+        let mem_trace = &mut mem_trace;
+        let shared = &shared;
+        let control = &control;
+        let gauge = &gauge;
+        lsgd_runtime::global().scope(|scope| {
+            for (worker_id, slot) in stats_slots.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    *slot = Some(run_worker(problem, shared, control, cfg, worker_id));
+                });
             }
-            let elapsed = start.elapsed();
-            // ORDERING: Relaxed — monotone progress tally; the monitor
-            // tolerates slightly stale counts (it re-reads next round).
-            let published = control.total_published.load(Ordering::Relaxed);
 
-            shared.snapshot_into(&mut snapshot);
-            // ORDERING: Relaxed — crash flag, eventually observed.
-            let loss = if control.crashed.load(Ordering::Relaxed) {
-                f64::NAN
-            } else {
-                problem.eval_loss(&snapshot, &mut monitor_scratch)
-            };
-            loss_trace.push(elapsed.as_secs_f64(), loss);
-            mem_trace.push(elapsed.as_secs_f64(), gauge.live() as f64);
-            let done = tracker.observe(elapsed, loss);
-            for (i, (frac, it)) in iters_to_eps.iter_mut().enumerate() {
-                let _ = frac;
-                if it.is_none() && tracker.outcome(i).converged() {
-                    *it = Some(published);
+            // ---- Monitor task (paper §V.2: halts executions at ε, flags
+            // Crash on numerical instability, samples memory). ----
+            scope.spawn(move || {
+                let mut snapshot = vec![0.0f32; dim];
+                loop {
+                    // Sleep in small slices so worker-side crash/budget
+                    // stops are reacted to promptly.
+                    let slice = cfg.eval_every.min(Duration::from_millis(20));
+                    let mut slept = Duration::ZERO;
+                    // ORDERING: Relaxed — `stop` is an eventually-observed
+                    // flag; it carries no data (workers re-check it every
+                    // iteration).
+                    while slept < cfg.eval_every && !control.stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    let elapsed = start.elapsed();
+                    // ORDERING: Relaxed — monotone progress tally; the
+                    // monitor tolerates slightly stale counts (it re-reads
+                    // next round).
+                    let published = control.total_published.load(Ordering::Relaxed);
+
+                    shared.snapshot_into(&mut snapshot);
+                    // ORDERING: Relaxed — crash flag, eventually observed.
+                    let loss = if control.crashed.load(Ordering::Relaxed) {
+                        f64::NAN
+                    } else {
+                        problem.eval_loss(&snapshot, monitor_scratch)
+                    };
+                    loss_trace.push(elapsed.as_secs_f64(), loss);
+                    mem_trace.push(elapsed.as_secs_f64(), gauge.live() as f64);
+                    let done = tracker.observe(elapsed, loss);
+                    for (i, (frac, it)) in iters_to_eps.iter_mut().enumerate() {
+                        let _ = frac;
+                        if it.is_none() && tracker.outcome(i).converged() {
+                            *it = Some(published);
+                        }
+                    }
+                    let budget_out = elapsed >= cfg.max_wall || published >= cfg.max_updates;
+                    // ORDERING: Relaxed load — flag check as above. SeqCst
+                    // store: the final verdict; keeps the terminal stop in
+                    // one total order with workers' crash/stop stores so no
+                    // worker can observe a "later" state that un-stops the
+                    // run.
+                    if done || budget_out || control.stop.load(Ordering::Relaxed) {
+                        control.stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
                 }
-            }
-            let budget_out =
-                elapsed >= cfg.max_wall || published >= cfg.max_updates;
-            // ORDERING: Relaxed load — flag check as above. SeqCst store:
-            // the final verdict; keeps the terminal stop in one total
-            // order with workers' crash/stop stores so no worker can
-            // observe a "later" state that un-stops the run.
-            if done || budget_out || control.stop.load(Ordering::Relaxed) {
-                control.stop.store(true, Ordering::SeqCst);
-                break;
-            }
-        }
-
-        for h in handles {
-            let stats = h.join().expect("worker panicked");
-            merged.merge(&stats);
-        }
-    });
+            });
+        });
+    }
+    for stats in stats_slots.iter().flatten() {
+        merged.merge(stats);
+    }
 
     let wall = start.elapsed();
     let pool_peak = match &shared {
@@ -369,14 +386,14 @@ fn run_worker<P: Problem>(
     control: &Control,
     cfg: &TrainConfig,
     worker_id: usize,
-    nworkers: usize,
 ) -> WorkerStats {
     let dim = problem.dim();
     let mut stats = WorkerStats::new(cfg.staleness_cap);
-    // Worker-count-aware scratch: problems with intra-step parallelism
-    // (NnProblem's GEMM fan-out) divide the machine among the m workers
-    // instead of each oversubscribing the shared pool.
-    let mut scratch = problem.scratch_for_workers(nworkers);
+    // Intra-step splits (NnProblem's GEMM fan-out) execute on the same
+    // work-stealing runtime that runs the m trainer workers, so scratch
+    // needs no worker-count-aware sizing: total parallelism is bounded
+    // by LSGD_THREADS regardless of m.
+    let mut scratch = problem.scratch();
     let mut rng = SmallRng64::new(cfg.seed ^ (0x5bd1e995u64.wrapping_mul(worker_id as u64 + 1)));
     let mut grad = vec![0.0f32; dim];
     let vec_bytes = dim * std::mem::size_of::<f32>();

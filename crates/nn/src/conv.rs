@@ -277,10 +277,10 @@ impl Conv2d {
     }
 
     /// Runs `work` over `0..batch` split into at most `threads` contiguous
-    /// ranges — on the pool when that is more than one range, inline
+    /// ranges — on the runtime when that is more than one range, inline
     /// otherwise. `work` must touch only sample-disjoint state.
     fn for_sample_ranges(
-        pool: &lsgd_tensor::threadpool::ThreadPool,
+        rt: &lsgd_runtime::Runtime,
         threads: usize,
         batch: usize,
         work: &(dyn Fn(Range<usize>) + Sync),
@@ -289,7 +289,7 @@ impl Conv2d {
         if ranges.len() <= 1 {
             work(0..batch);
         } else {
-            pool.parallel_for(ranges.len(), &|t| work(ranges[t].clone()));
+            rt.parallel_for(ranges.len(), &|t| work(ranges[t].clone()));
         }
     }
 

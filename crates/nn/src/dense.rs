@@ -308,8 +308,7 @@ mod tests {
     /// checks, asserted here through the layer API).
     #[test]
     fn panel_cache_and_parallel_paths_agree_bitwise() {
-        use lsgd_tensor::threadpool::ThreadPool;
-        use std::sync::Arc;
+        use lsgd_runtime::Runtime;
         let l = Dense::new(37, 19);
         let batch = 24;
         let mut rng = lsgd_tensor::SmallRng64::new(5);
@@ -322,7 +321,7 @@ mod tests {
             let mut ctx = StepCtx {
                 use_panels,
                 threads,
-                pool: Some(Arc::new(ThreadPool::new(threads))),
+                runtime: Runtime::new(threads).into(),
                 ..StepCtx::default()
             };
             ctx.panels.begin_step();

@@ -12,12 +12,11 @@
 //! panel cache and the intra-step parallelism policy. Layers are free to
 //! ignore it (activations, pooling); the GEMM-heavy layers use it to pack
 //! their weight operands once per step and to fan per-sample work out
-//! across the tensor crate's worker pool.
+//! across the unified work-stealing runtime.
 
-use lsgd_tensor::threadpool::{self, ThreadPool};
+use lsgd_runtime::{Handle, Runtime};
 use lsgd_tensor::{Matrix, PackedPanelCache};
 use rand::rngs::StdRng;
-use std::sync::Arc;
 
 /// Per-worker compute context for one SGD step.
 ///
@@ -35,12 +34,12 @@ pub struct StepCtx {
     /// fresh-pack-per-call behaviour, kept as the benchmark baseline).
     pub use_panels: bool,
     /// Upper bound on intra-step worker threads (`usize::MAX` = as many
-    /// as the pool provides, `1` = fully serial layers).
+    /// as the runtime provides, `1` = fully serial layers).
     pub threads: usize,
-    /// Worker pool override; `None` uses the process-global GEMM pool.
-    /// Tests inject a fixed-size pool here so the parallel paths are
-    /// exercised regardless of the host's core count.
-    pub pool: Option<Arc<ThreadPool>>,
+    /// Which runtime executes intra-step splits: the process-global one
+    /// by default; tests inject a fixed-size runtime here so the parallel
+    /// paths are exercised regardless of the host's core count.
+    pub runtime: Handle,
 }
 
 impl Default for StepCtx {
@@ -49,7 +48,7 @@ impl Default for StepCtx {
             panels: PackedPanelCache::new(),
             use_panels: true,
             threads: usize::MAX,
-            pool: None,
+            runtime: Handle::Global,
         }
     }
 }
@@ -57,15 +56,12 @@ impl Default for StepCtx {
 impl StepCtx {
     /// Splits the context into the pieces a layer's hot path needs, with
     /// disjoint borrows: the mutable panel cache, the panels-enabled
-    /// flag, the effective pool, and the effective thread cap (already
-    /// clamped to the pool size).
-    pub fn split(&mut self) -> (&mut PackedPanelCache, bool, &ThreadPool, usize) {
-        let pool: &ThreadPool = match &self.pool {
-            Some(p) => p,
-            None => threadpool::global(),
-        };
-        let threads = self.threads.min(pool.threads()).max(1);
-        (&mut self.panels, self.use_panels, pool, threads)
+    /// flag, the effective runtime, and the effective thread cap (already
+    /// clamped to the runtime size).
+    pub fn split(&mut self) -> (&mut PackedPanelCache, bool, &Runtime, usize) {
+        let rt = self.runtime.get();
+        let threads = self.threads.min(rt.threads()).max(1);
+        (&mut self.panels, self.use_panels, rt, threads)
     }
 }
 

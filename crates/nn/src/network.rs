@@ -13,11 +13,10 @@
 
 use crate::layer::{Layer, LayerCache, StepCtx};
 use crate::loss;
-use lsgd_tensor::threadpool::ThreadPool;
+use lsgd_runtime::Handle;
 use lsgd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
 
 /// Compute-path configuration for a [`Workspace`].
 ///
@@ -30,11 +29,12 @@ use std::sync::Arc;
 pub struct ComputeOpts {
     /// Cache packed weight panels across the GEMMs of one SGD step.
     pub panel_cache: bool,
-    /// Upper bound on intra-step worker threads (`usize::MAX` = pool
+    /// Upper bound on intra-step worker threads (`usize::MAX` = runtime
     /// size, `1` = serial).
     pub threads: usize,
-    /// Worker-pool override (`None` = the process-global GEMM pool).
-    pub pool: Option<Arc<ThreadPool>>,
+    /// Which runtime executes intra-step splits (default: the
+    /// process-global one, sized by `LSGD_THREADS`).
+    pub runtime: Handle,
 }
 
 impl Default for ComputeOpts {
@@ -42,7 +42,7 @@ impl Default for ComputeOpts {
         ComputeOpts {
             panel_cache: true,
             threads: usize::MAX,
-            pool: None,
+            runtime: Handle::Global,
         }
     }
 }
@@ -54,7 +54,7 @@ impl ComputeOpts {
         ComputeOpts {
             panel_cache: false,
             threads: 1,
-            pool: None,
+            runtime: Handle::Global,
         }
     }
 }
@@ -315,7 +315,7 @@ impl Workspace {
     pub fn set_compute_opts(&mut self, opts: ComputeOpts) {
         self.ctx.use_panels = opts.panel_cache;
         self.ctx.threads = opts.threads;
-        self.ctx.pool = opts.pool;
+        self.ctx.runtime = opts.runtime;
     }
 
     /// The step context (tests/diagnostics — e.g. panel-cache hit rates).

@@ -5,11 +5,11 @@
 //! (fresh packing per GEMM, fully serial) on the paper's own workload
 //! shapes — scaled-down MLP and CNN stacks plus the real Table III CNN.
 //!
-//! Threading is exercised through an injected 4-way pool so the parallel
-//! code paths run regardless of the host's core count.
+//! Threading is exercised through an injected 4-thread runtime so the
+//! parallel code paths run regardless of the host's core count.
 
 use lsgd_nn::{ComputeOpts, Network, StepCtx};
-use lsgd_tensor::threadpool::ThreadPool;
+use lsgd_runtime::{Handle, Runtime};
 use lsgd_tensor::{Matrix, SmallRng64};
 use std::sync::Arc;
 
@@ -57,23 +57,23 @@ fn run_mode(
 fn assert_modes_agree(net: &Network, batch: usize, seed: u64) {
     let theta = net.init_params(seed);
     let (x, y) = rand_batch(batch, net.in_dim(), net.n_classes(), seed + 1);
-    let pool = Some(Arc::new(ThreadPool::new(4)));
+    let rt: Handle = Arc::new(Runtime::new(4)).into();
     let modes = [
         ("baseline", ComputeOpts::baseline()),
         ("panels-serial", ComputeOpts {
             panel_cache: true,
             threads: 1,
-            pool: None,
+            runtime: Handle::Global,
         }),
         ("panels-parallel", ComputeOpts {
             panel_cache: true,
             threads: usize::MAX,
-            pool: pool.clone(),
+            runtime: rt.clone(),
         }),
         ("parallel-no-panels", ComputeOpts {
             panel_cache: false,
             threads: usize::MAX,
-            pool,
+            runtime: rt,
         }),
     ];
     let reference = run_mode(net, &theta, &x, &y, modes[0].1.clone());
@@ -166,7 +166,7 @@ fn threaded_forward_matches_serial_lowering() {
     ws_par.set_compute_opts(ComputeOpts {
         panel_cache: true,
         threads: usize::MAX,
-        pool: Some(Arc::new(ThreadPool::new(4))),
+        runtime: Runtime::new(4).into(),
     });
     let par = net.forward(&theta, &x, &mut ws_par).clone();
     assert_eq!(

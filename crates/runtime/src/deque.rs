@@ -1,0 +1,434 @@
+//! Seq-claim work-stealing deque: LIFO owner pop, FIFO steal.
+//!
+//! This is the per-worker task queue of the unified runtime. It keeps the
+//! Chase–Lev *shape* — a single owner pushes and pops at the bottom while any
+//! number of thieves steal from the top — but replaces Chase–Lev's
+//! speculative slot read (read the value, then CAS `top` to find out whether
+//! the read was allowed) with a **claim-then-read** protocol: every slot
+//! carries a `seq` generation word, and whoever wins the slot's READY→CLAIMED
+//! CAS is the unique thread that reads the value. Nobody ever touches a
+//! payload it does not own, so the protocol contains no benign race — which
+//! is exactly what lets the `lsgd_check` vector-clock race detector (and
+//! TSan) verify it: any flagged access is a real bug, not a Chase–Lev
+//! artifact to be waved away.
+//!
+//! Layout: a fixed power-of-two ring of `cap` slots. Indices `bottom`
+//! (owner-only writes) and `top` (advisory steal frontier) increase
+//! monotonically over the whole lifetime — they are never decremented, so
+//! the usual Chase–Lev `b = b - 1` ABA subtleties cannot arise. Slot
+//! `i & (cap-1)` holds generation `i`; its `seq` word encodes the state:
+//!
+//! | `seq` value | state     | meaning                                    |
+//! |-------------|-----------|--------------------------------------------|
+//! | `i`         | FREE      | empty, ready for the owner's push of gen i |
+//! | `i + 1`     | READY     | value published, up for claim              |
+//! | `i + 2`     | CLAIMED   | a claimant won the CAS and owns the value  |
+//! | `i + cap`   | FREE(i+cap) | value consumed; slot recycled for gen i+cap |
+//!
+//! The owner pops LIFO by scanning downward from `bottom`; thieves steal
+//! FIFO by scanning upward from `top`. Both claim a READY slot with the same
+//! CAS; the loser just skips the index (a claimed index is dead forever).
+//! `top` is purely advisory — thieves CAS it forward over dead indices to
+//! bound future scans, but correctness never depends on its value.
+//!
+//! Single-owner contract: `push`/`pop` are `unsafe fn` — the caller must
+//! guarantee at most one thread acts as owner at a time. The runtime
+//! enforces this with per-slot claim flags whose Acquire/Release handoff
+//! also transfers the owner-local scan cursors below. Under `--cfg
+//! lsgd_model` the cursors live in checker-tracked `UnsafeCell`s, so a
+//! violated owner contract shows up as a detected data race rather than
+//! silent corruption.
+
+use std::mem::MaybeUninit;
+
+use lsgd_check::sync::{AtomicU64, Ordering, UnsafeCell};
+
+/// Success ordering of the claim CAS that takes a slot READY→CLAIMED.
+///
+/// This is *the* happens-before edge of the whole deque: it pairs with the
+/// publisher's `seq` Release store of READY, making the payload write
+/// visible to the claimant before it reads the slot.
+// ORDERING: Acquire — claim-CAS success pairs with push's Release store of
+// READY on the same `seq` word; without it the claimant's value read races
+// the owner's value write.
+#[cfg(not(lsgd_mutate_relaxed_steal))]
+const CLAIM_SUCCESS: Ordering = Ordering::Acquire;
+
+/// Mutation sentinel (`--cfg lsgd_mutate_relaxed_steal`): deliberately drop
+/// the Acquire on the claim CAS. This severs the only happens-before chain
+/// from the owner's payload write to the thief's payload read, so the model
+/// checker must report the read as a data race — proof the green model runs
+/// depend on the real ordering.
+// ORDERING: Relaxed — intentionally wrong; exists only so
+// tests/model_deque.rs can assert the checker catches it.
+#[cfg(lsgd_mutate_relaxed_steal)]
+const CLAIM_SUCCESS: Ordering = Ordering::Relaxed;
+
+struct Slot<T> {
+    /// Generation/state word; see the module table.
+    seq: AtomicU64,
+    /// The payload. Written only by the owner (push); read only by the
+    /// unique claim winner (owner pop or one thief).
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Fixed-capacity work-stealing deque. See the module docs for the protocol.
+pub struct Deque<T> {
+    /// One past the newest pushed index. Owner-only writes.
+    bottom: AtomicU64,
+    /// Advisory steal frontier: every index below it is dead (claimed or
+    /// consumed). Thieves CAS it forward; it never overtakes a live slot.
+    top: AtomicU64,
+    /// Owner-local: one past the highest index that may still be live.
+    /// Protected by the single-owner contract, not by atomics.
+    cursor: UnsafeCell<u64>,
+    /// Owner-local: every index below this was verified dead by a previous
+    /// owner scan. Bounds pop's downward scan so repeated empty pops do not
+    /// rescan the same dead prefix.
+    floor: UnsafeCell<u64>,
+    mask: u64,
+    slots: Box<[Slot<T>]>,
+}
+
+impl<T: Send> Deque<T> {
+    /// A deque holding at most `capacity` (rounded up to a power of two,
+    /// minimum 4) in-flight tasks.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(4);
+        let slots = (0..cap as u64)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Deque {
+            bottom: AtomicU64::new(0),
+            top: AtomicU64::new(0),
+            cursor: UnsafeCell::new(0),
+            floor: UnsafeCell::new(0),
+            mask: cap as u64 - 1,
+            slots,
+        }
+    }
+
+    /// Ring capacity (power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask as usize + 1
+    }
+
+    #[inline]
+    fn slot(&self, i: u64) -> &Slot<T> {
+        &self.slots[(i & self.mask) as usize]
+    }
+
+    /// Cheap emptiness hint for the scheduler's sleep decision. May report
+    /// `true` for a deque whose remaining indices are all dead (stale
+    /// `top`); thieves tidy `top` as they scan, so the hint converges to
+    /// `false` once a steal attempt walks the dead suffix.
+    pub fn maybe_nonempty(&self) -> bool {
+        // ORDERING: Relaxed — both loads are advisory; a stale answer in
+        // either direction only costs a redundant steal scan or a wakeup
+        // that the publisher-side Dekker handshake in lib.rs backstops.
+        self.top.load(Ordering::Relaxed) < self.bottom.load(Ordering::Relaxed)
+    }
+
+    /// Owner-only: publish `v` at the bottom. Returns `Err(v)` when the ring
+    /// is full (the generation-`i - cap` value has not been consumed yet).
+    ///
+    /// # Safety
+    /// At most one thread may act as owner (call `push`/`pop`) at a time,
+    /// and ownership handoff between threads must happen-before the new
+    /// owner's first call.
+    pub unsafe fn push(&self, v: T) -> Result<(), T> {
+        // ORDERING: Relaxed — `bottom` is written only by the owner (us);
+        // reading our own latest store needs no synchronization.
+        let b = self.bottom.load(Ordering::Relaxed);
+        let slot = self.slot(b);
+        // ORDERING: Acquire — pairs with the claimant's Release store of
+        // FREE(i+cap): observing the slot recycled guarantees the previous
+        // generation's value *read* completed before we overwrite `val`.
+        if slot.seq.load(Ordering::Acquire) != b {
+            return Err(v); // ring full: generation b - cap still in flight
+        }
+        slot.val.with_mut(|p| unsafe { (*p).write(v) });
+        // ORDERING: Release — publishes the `val` write above to whichever
+        // thread wins the READY→CLAIMED CAS (pairs with CLAIM_SUCCESS).
+        slot.seq.store(b + 1, Ordering::Release);
+        // ORDERING: Relaxed — advisory upper bound for thieves' scans; the
+        // per-slot `seq` protocol carries all synchronization. Deliberately
+        // *not* Release: an Acquire load of `bottom` must never be what
+        // publishes `val`, or the model-check mutation sentinel on the
+        // claim CAS would be masked by this side channel.
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        self.cursor.with_mut(|c| *c = b + 1);
+        Ok(())
+    }
+
+    /// Owner-only: LIFO pop of the newest unclaimed task.
+    ///
+    /// # Safety
+    /// Same single-owner contract as [`Deque::push`].
+    pub unsafe fn pop(&self) -> Option<T> {
+        let cap = self.mask + 1;
+        let start = self.cursor.with(|c| *c);
+        let floor = self.floor.with(|f| *f);
+        let mut i = start;
+        loop {
+            // ORDERING: Relaxed — advisory lower bound; indices below `top`
+            // are dead by construction, so a stale (small) value only makes
+            // us scan slots we will find dead anyway.
+            let t = self.top.load(Ordering::Relaxed).max(floor);
+            if i <= t {
+                // Everything in [t, start) was verified dead: remember it so
+                // the next empty pop is O(1) instead of rescanning.
+                self.cursor.with_mut(|c| *c = i);
+                self.floor.with_mut(|f| *f = i);
+                return None;
+            }
+            i -= 1;
+            let slot = self.slot(i);
+            // ORDERING: Relaxed — pre-screen only; the claim CAS below is
+            // the synchronizing edge (and for the owner, our own push of
+            // this value is already ordered by program order).
+            let seq = slot.seq.load(Ordering::Relaxed);
+            // ORDERING: claim CAS — success is CLAIM_SUCCESS (Acquire),
+            // the only happens-before edge to the payload; failure is
+            // Relaxed because a thief won the index and we touch no data.
+            if seq == i + 1
+                && slot
+                    .seq
+                    .compare_exchange(i + 1, i + 2, CLAIM_SUCCESS, Ordering::Relaxed)
+                    .is_ok()
+            {
+                let v = slot.val.with(|p| unsafe { (*p).assume_init_read() });
+                // ORDERING: Release — recycle the slot: pairs with push's
+                // Acquire fullness check so our value read above
+                // happens-before the next-generation overwrite.
+                slot.seq.store(i + cap, Ordering::Release);
+                self.cursor.with_mut(|c| *c = i);
+                return Some(v);
+            }
+            // CLAIMED or consumed: the index is dead forever; keep scanning
+            // downward. (The owner never tidies `top` — thieves do.)
+        }
+    }
+
+    /// FIFO steal of the oldest unclaimed task. Any thread may call this.
+    /// Returns `None` when no READY task is observable.
+    pub fn steal(&self) -> Option<T> {
+        let cap = self.mask + 1;
+        // ORDERING: Relaxed — advisory frontier; staleness only costs a
+        // redundant scan over dead slots.
+        let mut i = self.top.load(Ordering::Relaxed);
+        loop {
+            // ORDERING: Relaxed — advisory upper bound. Deliberately *not*
+            // Acquire: `bottom` must not carry the payload happens-before
+            // edge (that is CLAIM_SUCCESS's job — see push's comment on why
+            // this also matters for the mutation sentinel). The per-slot
+            // `seq` check below re-validates anything we read here.
+            let b = self.bottom.load(Ordering::Relaxed);
+            if i >= b {
+                return None;
+            }
+            let slot = self.slot(i);
+            // ORDERING: Relaxed — pre-screen only; the claim CAS is the
+            // synchronizing edge.
+            let seq = slot.seq.load(Ordering::Relaxed);
+            if seq == i + 1 {
+                // ORDERING: claim CAS — success is CLAIM_SUCCESS (Acquire),
+                // the only happens-before edge to the payload; failure is
+                // Relaxed because another claimant won and we touch no data.
+                if slot
+                    .seq
+                    .compare_exchange(i + 1, i + 2, CLAIM_SUCCESS, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    let v = slot.val.with(|p| unsafe { (*p).assume_init_read() });
+                    // ORDERING: Release — recycle the slot; pairs with
+                    // push's Acquire fullness check so our value read
+                    // happens-before the next-generation overwrite.
+                    slot.seq.store(i + cap, Ordering::Release);
+                    // ORDERING: Relaxed — advisory tidy of the frontier so
+                    // later scans skip this dead index; failure means
+                    // another thief already advanced it.
+                    let _ = self.top.compare_exchange(i, i + 1, Ordering::Relaxed, Ordering::Relaxed);
+                    return Some(v);
+                }
+                // Lost the claim; reload `seq` to see the index die.
+                continue;
+            }
+            if seq == i {
+                // Generation i not pushed yet ⇒ we are at the true frontier
+                // (the stale `b` we read ran ahead of the slot states).
+                return None;
+            }
+            // CLAIMED or consumed: dead index. Tidy the frontier and move on.
+            // ORDERING: Relaxed — advisory, as above.
+            let _ = self.top.compare_exchange(i, i + 1, Ordering::Relaxed, Ordering::Relaxed);
+            i += 1;
+        }
+    }
+}
+
+impl<T> Drop for Deque<T> {
+    fn drop(&mut self) {
+        // `&mut self` guarantees no owner or thief is in flight; drop every
+        // READY (published, unclaimed) value. seq ≡ slot_index + 1 (mod cap)
+        // is exactly the READY state of the slot's current generation.
+        for (s, slot) in self.slots.iter_mut().enumerate() {
+            // ORDERING: Relaxed — exclusive access via `&mut self`; the
+            // thread that handed us the deque synchronized already.
+            let seq = slot.seq.load(Ordering::Relaxed);
+            if seq.wrapping_sub(s as u64) & self.mask == 1 {
+                unsafe { (*slot.val.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+#[cfg(all(test, not(lsgd_model)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let d = Deque::new(8);
+        unsafe {
+            d.push(1).unwrap();
+            d.push(2).unwrap();
+            d.push(3).unwrap();
+            assert_eq!(d.pop(), Some(3));
+            assert_eq!(d.pop(), Some(2));
+            d.push(4).unwrap();
+            assert_eq!(d.pop(), Some(4));
+            assert_eq!(d.pop(), Some(1));
+            assert_eq!(d.pop(), None);
+        }
+    }
+
+    #[test]
+    fn steal_is_fifo() {
+        let d = Deque::new(8);
+        unsafe {
+            for i in 0..5 {
+                d.push(i).unwrap();
+            }
+        }
+        assert_eq!(d.steal(), Some(0));
+        assert_eq!(d.steal(), Some(1));
+        unsafe { assert_eq!(d.pop(), Some(4)) };
+        assert_eq!(d.steal(), Some(2));
+        assert_eq!(d.steal(), Some(3));
+        assert_eq!(d.steal(), None);
+        unsafe { assert_eq!(d.pop(), None) };
+    }
+
+    #[test]
+    fn full_ring_returns_err_until_consumed() {
+        let d = Deque::new(4);
+        unsafe {
+            for i in 0..4 {
+                d.push(i).unwrap();
+            }
+            assert_eq!(d.push(99), Err(99));
+            // Consuming the *oldest* frees the slot the next push needs.
+            assert_eq!(d.steal(), Some(0));
+            d.push(4).unwrap();
+            assert_eq!(d.push(99), Err(99));
+        }
+    }
+
+    #[test]
+    fn ring_wraps_across_many_generations() {
+        let d = Deque::new(4);
+        for round in 0u64..25 {
+            unsafe {
+                d.push(round * 2).unwrap();
+                d.push(round * 2 + 1).unwrap();
+                if round % 2 == 0 {
+                    assert_eq!(d.pop(), Some(round * 2 + 1));
+                    assert_eq!(d.steal(), Some(round * 2));
+                } else {
+                    assert_eq!(d.steal(), Some(round * 2));
+                    assert_eq!(d.steal(), Some(round * 2 + 1));
+                }
+                assert_eq!(d.pop(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_releases_unclaimed_values() {
+        #[derive(Debug)]
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, StdOrdering::Relaxed); // ORDERING: Relaxed test tally; join/scope exit orders the read.
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let d = Deque::new(8);
+        unsafe {
+            for _ in 0..5 {
+                d.push(Counted(Arc::clone(&drops))).unwrap();
+            }
+            drop(d.pop()); // 1 dropped by us
+        }
+        drop(d.steal()); // 1 dropped by us
+        assert_eq!(drops.load(StdOrdering::Relaxed), 2); // ORDERING: Relaxed test tally; join/scope exit orders the read.
+        drop(d); // remaining 3 dropped by Deque::drop
+        assert_eq!(drops.load(StdOrdering::Relaxed), 5); // ORDERING: Relaxed test tally; join/scope exit orders the read.
+    }
+
+    #[test]
+    fn concurrent_owner_and_thieves_deliver_exactly_once() {
+        const N: usize = 10_000;
+        const THIEVES: usize = 3;
+        let d = Arc::new(Deque::new(64));
+        let seen = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                let d = Arc::clone(&d);
+                let seen = Arc::clone(&seen);
+                let sum = Arc::clone(&sum);
+                s.spawn(move || {
+                    while seen.load(StdOrdering::Acquire) < N {
+                        if let Some(v) = d.steal() {
+                            sum.fetch_add(v, StdOrdering::Relaxed); // ORDERING: Relaxed test tally; join/scope exit orders the read.
+                            seen.fetch_add(1, StdOrdering::AcqRel);
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            // Owner: push all values, popping whenever the ring fills.
+            let mut next = 0usize;
+            while next < N {
+                unsafe {
+                    match d.push(next) {
+                        Ok(()) => next += 1,
+                        Err(_) => {
+                            if let Some(v) = d.pop() {
+                                sum.fetch_add(v, StdOrdering::Relaxed); // ORDERING: Relaxed test tally; join/scope exit orders the read.
+                                seen.fetch_add(1, StdOrdering::AcqRel);
+                            }
+                        }
+                    }
+                }
+            }
+            // Drain the tail alongside the thieves.
+            while seen.load(StdOrdering::Acquire) < N {
+                if let Some(v) = unsafe { d.pop() } {
+                    sum.fetch_add(v, StdOrdering::Relaxed); // ORDERING: Relaxed test tally; join/scope exit orders the read.
+                    seen.fetch_add(1, StdOrdering::AcqRel);
+                }
+            }
+        });
+        assert_eq!(seen.load(StdOrdering::Relaxed), N); // ORDERING: Relaxed test tally; join/scope exit orders the read.
+        assert_eq!(sum.load(StdOrdering::Relaxed), N * (N - 1) / 2); // ORDERING: Relaxed test tally; join/scope exit orders the read.
+    }
+}

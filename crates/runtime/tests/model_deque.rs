@@ -1,0 +1,208 @@
+//! Model checks for the runtime's seq-claim work-stealing deque: no task is
+//! lost or duplicated across owner pops racing concurrent steals (including
+//! ring wraparound), and the mutation test proving the checker catches a
+//! weakened steal-claim ordering.
+//!
+//! Run with `RUSTFLAGS="--cfg lsgd_model" cargo test -p lsgd_runtime --test
+//! model_deque`. The mutation test additionally needs `--cfg
+//! lsgd_mutate_relaxed_steal`, which flips the claim CAS's success ordering
+//! from `Acquire` to `Relaxed` — severing the only happens-before edge from
+//! the owner's payload write to the thief's payload read. The regular
+//! invariant tests are compiled out under that cfg because they would
+//! (correctly) fail.
+#![cfg(lsgd_model)]
+
+use lsgd_check::sync::{AtomicUsize, Ordering};
+use lsgd_check::thread;
+use lsgd_runtime::deque::Deque;
+use std::sync::Arc;
+
+/// Steals until the shared taken-counter reaches `total`, yielding so the
+/// model scheduler runs the other claimants instead of spinning forever.
+#[cfg(not(lsgd_mutate_relaxed_steal))]
+fn steal_until(d: &Deque<u64>, taken: &AtomicUsize, total: usize) -> Vec<u64> {
+    let mut got = Vec::new();
+    // ORDERING: Relaxed — the counter only gates loop termination; the
+    // values themselves synchronize through the deque's claim protocol.
+    while taken.load(Ordering::Relaxed) < total {
+        if let Some(v) = d.steal() {
+            got.push(v);
+            taken.fetch_add(1, Ordering::Relaxed); // ORDERING: Relaxed test tally; join/scope exit orders the read.
+        } else {
+            thread::yield_now();
+        }
+    }
+    got
+}
+
+/// Owner pushes then pops LIFO while one thief steals FIFO: across all
+/// explored schedules every value is delivered exactly once, to exactly one
+/// of the two.
+#[cfg(not(lsgd_mutate_relaxed_steal))]
+#[test]
+fn owner_pop_vs_steal_delivers_exactly_once() {
+    const N: usize = 3;
+    lsgd_check::model(|| {
+        let d = Arc::new(Deque::new(4));
+        let taken = Arc::new(AtomicUsize::new(0));
+        let thief = {
+            let d = Arc::clone(&d);
+            let taken = Arc::clone(&taken);
+            thread::spawn(move || steal_until(&d, &taken, N))
+        };
+        // Owner: push everything, then drain LIFO. After `pop` returns
+        // `None` every remaining value is claimed by the thief, so the
+        // counter protocol below still terminates.
+        let mut mine = Vec::new();
+        unsafe {
+            for i in 0..N as u64 {
+                d.push(i).unwrap();
+            }
+            while let Some(v) = d.pop() {
+                mine.push(v);
+                // ORDERING: Relaxed — termination counter only.
+                taken.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Owner's LIFO order: strictly descending.
+        assert!(mine.windows(2).all(|w| w[0] > w[1]), "owner not LIFO: {mine:?}");
+        let stolen = thief.join().unwrap();
+        // Thief's FIFO order: strictly ascending.
+        assert!(
+            stolen.windows(2).all(|w| w[0] < w[1]),
+            "thief not FIFO: {stolen:?}"
+        );
+        let mut all = mine;
+        all.extend(stolen);
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..N as u64).collect::<Vec<_>>(),
+            "task lost or duplicated"
+        );
+        assert!(unsafe { d.pop() }.is_none());
+        assert!(d.steal().is_none());
+    });
+}
+
+/// Two thieves racing each other (and the owner's pop) over the same
+/// claim CASes: conservation must hold and each thief's haul stays
+/// ascending (FIFO per thief).
+#[cfg(not(lsgd_mutate_relaxed_steal))]
+#[test]
+fn two_thieves_conserve_tasks() {
+    const N: usize = 3;
+    lsgd_check::model(|| {
+        let d = Arc::new(Deque::new(4));
+        unsafe {
+            for i in 0..N as u64 {
+                d.push(i).unwrap();
+            }
+        }
+        let taken = Arc::new(AtomicUsize::new(0));
+        let thieves: Vec<_> = (0..2)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let taken = Arc::clone(&taken);
+                thread::spawn(move || steal_until(&d, &taken, N))
+            })
+            .collect();
+        // Owner competes for the newest task.
+        let mut all = Vec::new();
+        if let Some(v) = unsafe { d.pop() } {
+            // ORDERING: Relaxed — termination counter only.
+            taken.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(v, N as u64 - 1, "owner pop must take the newest");
+            all.push(v);
+        }
+        for t in thieves {
+            let got = t.join().unwrap();
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "thief not FIFO: {got:?}");
+            all.extend(got);
+        }
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..N as u64).collect::<Vec<_>>(),
+            "task lost or duplicated"
+        );
+    });
+}
+
+/// Ring wraparound under contention: more values than the capacity-4 ring,
+/// so slots recycle (FREE(i+cap)) while a thief is mid-scan. The recycle
+/// Release / push Acquire pairing must keep reads and overwrites ordered.
+#[cfg(not(lsgd_mutate_relaxed_steal))]
+#[test]
+fn wraparound_recycles_slots_safely() {
+    const N: usize = 5; // > capacity ⇒ at least one slot hosts two generations
+    lsgd_check::model(|| {
+        let d = Arc::new(Deque::new(4));
+        let taken = Arc::new(AtomicUsize::new(0));
+        let thief = {
+            let d = Arc::clone(&d);
+            let taken = Arc::clone(&taken);
+            thread::spawn(move || steal_until(&d, &taken, N))
+        };
+        let mut mine = Vec::new();
+        let mut next = 0u64;
+        while next < N as u64 {
+            match unsafe { d.push(next) } {
+                Ok(()) => next += 1,
+                Err(_) => {
+                    // Ring full: help drain, or let the thief make progress.
+                    if let Some(v) = unsafe { d.pop() } {
+                        mine.push(v);
+                        // ORDERING: Relaxed — termination counter only.
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            }
+        }
+        let stolen = thief.join().unwrap();
+        let mut all = mine;
+        all.extend(stolen);
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..N as u64).collect::<Vec<_>>(),
+            "task lost or duplicated across wraparound"
+        );
+    });
+}
+
+/// THE mutation test: with `--cfg lsgd_mutate_relaxed_steal`, the claim
+/// CAS's success ordering is `Relaxed` instead of `Acquire`, so the thief's
+/// payload read has no happens-before edge to the owner's payload write.
+/// The checker must report that as a data race — proving the green runs of
+/// the tests above actually depend on the ordering being `Acquire`.
+#[cfg(lsgd_mutate_relaxed_steal)]
+#[test]
+fn weakened_steal_claim_is_caught() {
+    let report = lsgd_check::explore(lsgd_check::Config::default(), || {
+        let d = Arc::new(Deque::new(4));
+        let d2 = Arc::clone(&d);
+        let owner = thread::spawn(move || unsafe {
+            d2.push(7u64).unwrap();
+        });
+        loop {
+            if let Some(v) = d.steal() {
+                assert_eq!(v, 7);
+                break;
+            }
+            thread::yield_now();
+        }
+        let _ = owner.join();
+    });
+    let failure = report
+        .failure
+        .expect("the Acquire→Relaxed steal-claim mutation must be detected");
+    assert!(
+        failure.message.contains("data race"),
+        "expected a data-race report, got: {}",
+        failure.message
+    );
+    assert!(!failure.seed.is_empty(), "failure must carry a replay seed");
+}

@@ -1,341 +1,59 @@
-//! Minimal in-tree worker pool for data-parallel kernels.
+//! Thin adapter over the unified work-stealing runtime (`lsgd_runtime`).
 //!
-//! The registry is unreachable, so this crate cannot pull in `rayon`;
-//! what the packed GEMM needs is far smaller anyway: a fixed set of
-//! workers and a blocking [`ThreadPool::parallel_for`] that hands out
-//! task indices from a shared atomic counter (work-stealing degenerates
-//! to work-*sharing*, which is fine for a handful of equal-sized panel
-//! chunks). Workers sleep on a condvar between calls — an idle pool
-//! costs nothing, which matters because the SGD trainer already runs one
-//! worker thread per core and the GEMM pool must not fight it for cycles
-//! when unused.
+//! Historically this module owned a condvar work-sharing pool dedicated to
+//! GEMM splits, which meant two thread populations (trainer workers + GEMM
+//! pool) fighting for the same cores, hand-tuned via a pool-specific env
+//! knob. The pool is gone: `ThreadPool` is now an alias for
+//! [`lsgd_runtime::Runtime`], whose work-stealing workers run trainer tasks
+//! *and* intra-step splits, sized by the single `LSGD_THREADS` knob.
 //!
-//! The calling thread participates in the loop (a pool of size `n` has
-//! `n - 1` spawned workers), so `ThreadPool::new(1)` is exactly the
-//! serial path with no threads and no synchronisation.
+//! The adapter preserves the contract the GEMM layer and its differential
+//! suites rely on:
+//!
+//! * `ThreadPool::new(n)` / `pool.threads()` — `n` compute threads with the
+//!   caller participating (`new(1)` runs everything inline).
+//! * `pool.parallel_for(ntasks, f)` — runs `f(0..ntasks)` exactly once each,
+//!   serial for `ntasks <= 1` or a workerless pool; panics propagate after
+//!   the job quiesces.
+//! * [`split_ranges`] — the deterministic contiguous partition (re-exported
+//!   from the runtime). Combined with disjoint output rectangles and
+//!   ascending-order reduction at the call sites, execution order is
+//!   irrelevant to the result, which is what keeps serial ≡ parallel
+//!   *bitwise* (`gemm_differential`, `prepacked_differential`,
+//!   `fastpath_differential`).
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
+pub use lsgd_runtime::{split_ranges, Runtime as ThreadPool};
 
-/// One `parallel_for` invocation, shared between the caller and the
-/// workers that pick it up.
-struct ForJob {
-    /// The caller's closure with its borrow lifetime erased to `'static`.
-    /// Only dereferenced while the issuing `parallel_for` frame is
-    /// blocked waiting on [`ForJob::pending`], which keeps the real
-    /// (shorter-lived) borrow alive — see the transmute in
-    /// [`ThreadPool::parallel_for`].
-    f: &'static (dyn Fn(usize) + Sync),
-    /// Next unclaimed task index.
-    next: AtomicUsize,
-    /// Total task count.
-    total: usize,
-    /// Tasks claimed-and-finished still outstanding; the job is complete
-    /// when this reaches zero.
-    pending: AtomicUsize,
-    /// Set when any task panicked; the caller re-raises after the join.
-    poisoned: AtomicBool,
-    /// Completion latch the caller sleeps on.
-    done: Mutex<bool>,
-    done_cv: Condvar,
-}
-
-impl ForJob {
-    /// Claims and runs task indices until none remain.
-    ///
-    /// Panics inside a task are caught (so a worker thread survives and
-    /// `pending` still reaches zero — otherwise the caller would block
-    /// on [`ForJob::done_cv`] forever) and recorded in
-    /// [`ForJob::poisoned`]; the issuing `parallel_for` re-raises them
-    /// after every task has stopped. Catching is also what upholds the
-    /// lifetime-erasure contract: no unwind can tear down the caller's
-    /// frame while other threads still hold `f`.
-    fn run(&self) {
-        loop {
-            // ORDERING: Relaxed — a pure work-claim ticket counter; task
-            // data is published by the job installation, not here.
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.total {
-                return;
-            }
-            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.f)(i))).is_err() {
-                self.poisoned.store(true, Ordering::Release);
-            }
-            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                *self.done.lock().unwrap() = true;
-                self.done_cv.notify_all();
-            }
-        }
-    }
-}
-
-struct Shared {
-    /// Pending job announcements, one entry per worker per job.
-    jobs: Mutex<Vec<Arc<ForJob>>>,
-    available: Condvar,
-    shutdown: AtomicBool,
-}
-
-/// Fixed-size worker pool; see the module docs.
-pub struct ThreadPool {
-    shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl ThreadPool {
-    /// Creates a pool with total parallelism `threads` (the caller counts
-    /// as one, so `threads - 1` OS threads are spawned; `threads <= 1`
-    /// spawns none).
-    pub fn new(threads: usize) -> Self {
-        let shared = Arc::new(Shared {
-            jobs: Mutex::new(Vec::new()),
-            available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-        });
-        let workers = threads.saturating_sub(1);
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("lsgd-gemm-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn gemm worker")
-            })
-            .collect();
-        ThreadPool { shared, handles }
-    }
-
-    /// Total parallelism of the pool (spawned workers + the caller).
-    pub fn threads(&self) -> usize {
-        self.handles.len() + 1
-    }
-
-    /// Runs `f(0), f(1), …, f(ntasks - 1)`, distributing indices across
-    /// the pool's workers and the calling thread, and returns once every
-    /// task has finished. Tasks must be safe to run concurrently.
-    ///
-    /// # Panics
-    /// If any task panics, the remaining tasks still run to completion
-    /// (never leaving a worker dead or the join hanging), and the panic
-    /// is re-raised on the calling thread afterwards.
-    pub fn parallel_for(&self, ntasks: usize, f: &(dyn Fn(usize) + Sync)) {
-        if ntasks == 0 {
-            return;
-        }
-        if self.handles.is_empty() || ntasks == 1 {
-            for i in 0..ntasks {
-                f(i);
-            }
-            return;
-        }
-        // SAFETY: lifetime erasure only. The `'static` reference never
-        // escapes this call: we block below until `pending == 0`, after
-        // which no worker dereferences `f` again (every further claim
-        // sees `next >= total` and returns without touching it).
-        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
-        let job = Arc::new(ForJob {
-            f: f_static,
-            next: AtomicUsize::new(0),
-            total: ntasks,
-            pending: AtomicUsize::new(ntasks),
-            poisoned: AtomicBool::new(false),
-            done: Mutex::new(false),
-            done_cv: Condvar::new(),
-        });
-        {
-            let mut jobs = self.shared.jobs.lock().unwrap();
-            // One announcement per worker: late arrivals to a drained job
-            // see `next >= total` and return immediately.
-            for _ in 0..self.handles.len().min(ntasks - 1) {
-                jobs.push(Arc::clone(&job));
-            }
-        }
-        self.shared.available.notify_all();
-        job.run();
-        let mut done = job.done.lock().unwrap();
-        while !*done {
-            done = job.done_cv.wait(done).unwrap();
-        }
-        drop(done);
-        if job.poisoned.load(Ordering::Acquire) {
-            panic!("ThreadPool::parallel_for: a task panicked");
-        }
-    }
-}
-
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.available.notify_all();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn worker_loop(shared: &Shared) {
-    loop {
-        let job = {
-            let mut jobs = shared.jobs.lock().unwrap();
-            loop {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if let Some(job) = jobs.pop() {
-                    break job;
-                }
-                jobs = shared.available.wait(jobs).unwrap();
-            }
-        };
-        job.run();
-    }
-}
-
-/// Splits `0..n` into at most `max_tasks` contiguous, near-equal ranges
-/// (the longer ranges first), returning an empty vector for `n == 0`.
-///
-/// Used by data-parallel loops whose items are whole units of work (e.g.
-/// the conv layers' per-sample im2col + GEMM): handing each
-/// [`ThreadPool::parallel_for`] task one contiguous range keeps per-item
-/// results written to disjoint, cache-friendly regions and makes the
-/// task decomposition — and therefore any ordered reduction over it —
-/// deterministic for a given `(n, max_tasks)`.
-pub fn split_ranges(n: usize, max_tasks: usize) -> Vec<std::ops::Range<usize>> {
-    if n == 0 || max_tasks == 0 {
-        return Vec::new();
-    }
-    let tasks = max_tasks.min(n);
-    let base = n / tasks;
-    let extra = n % tasks; // the first `extra` ranges get one more item
-    let mut out = Vec::with_capacity(tasks);
-    let mut start = 0;
-    for t in 0..tasks {
-        let len = base + usize::from(t < extra);
-        out.push(start..start + len);
-        start += len;
-    }
-    debug_assert_eq!(start, n);
-    out
-}
-
-/// The process-wide pool used by `gemm_parallel`.
-///
-/// Sized from `LSGD_GEMM_THREADS` when set, otherwise from
-/// [`std::thread::available_parallelism`] capped at 8 — GEMM panel
-/// parallelism stops scaling well before the core counts the SGD trainer
-/// itself is designed to occupy.
+/// The process-global runtime, sized by `LSGD_THREADS` (the deprecated
+/// legacy pool knob still maps onto it with a one-time warning), else by
+/// `available_parallelism()`.
 pub fn global() -> &'static ThreadPool {
-    static POOL: OnceLock<ThreadPool> = OnceLock::new();
-    POOL.get_or_init(|| {
-        let threads = std::env::var("LSGD_GEMM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get().min(8))
-                    .unwrap_or(1)
-            });
-        ThreadPool::new(threads)
-    })
+    lsgd_runtime::global()
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(lsgd_model)))]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
+    /// The adapter must hand GEMM the same execution contract the old pool
+    /// gave it: exactly-once tasks, caller participation, `threads()`
+    /// reporting the sized width.
     #[test]
-    fn runs_every_task_exactly_once() {
+    fn adapter_preserves_pool_contract() {
         let pool = ThreadPool::new(4);
-        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
-        pool.parallel_for(hits.len(), &|i| {
-            // ORDERING: Relaxed — test tally read after join.
-            hits[i].fetch_add(1, Ordering::Relaxed);
+        assert_eq!(pool.threads(), 4);
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(32, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed); // ORDERING: Relaxed test tally; join/scope exit orders the read.
         });
-        // ORDERING: Relaxed — read after parallel_for returns (joined).
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1)); // ORDERING: Relaxed test tally; join/scope exit orders the read.
     }
 
     #[test]
-    fn single_thread_pool_runs_inline() {
-        let pool = ThreadPool::new(1);
-        assert_eq!(pool.threads(), 1);
-        let sum = AtomicU64::new(0);
-        pool.parallel_for(10, &|i| {
-            // ORDERING: Relaxed — test tally read after join.
-            sum.fetch_add(i as u64, Ordering::Relaxed);
-        });
-        // ORDERING: Relaxed — read after parallel_for returns (joined).
-        assert_eq!(sum.load(Ordering::Relaxed), 45);
-    }
-
-    #[test]
-    fn pool_survives_repeated_jobs() {
-        let pool = ThreadPool::new(3);
-        for round in 0..50 {
-            let count = AtomicU64::new(0);
-            pool.parallel_for(round % 7 + 1, &|_| {
-                // ORDERING: Relaxed — test tally read after join.
-                count.fetch_add(1, Ordering::Relaxed);
-            });
-            // ORDERING: Relaxed — read after parallel_for returns.
-            assert_eq!(count.load(Ordering::Relaxed), (round % 7 + 1) as u64);
-        }
-    }
-
-    #[test]
-    fn zero_tasks_is_a_noop() {
-        let pool = ThreadPool::new(2);
-        pool.parallel_for(0, &|_| panic!("must not run"));
-    }
-
-    #[test]
-    fn task_panic_propagates_and_pool_survives() {
-        let pool = ThreadPool::new(3);
-        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.parallel_for(16, &|i| {
-                if i == 7 {
-                    panic!("boom");
-                }
-            });
-        }));
-        assert!(hit.is_err(), "task panic must reach the caller");
-        // Workers caught the unwind, so the pool keeps working.
-        let count = AtomicU64::new(0);
-        pool.parallel_for(8, &|_| {
-            // ORDERING: Relaxed — test tally read after join.
-            count.fetch_add(1, Ordering::Relaxed);
-        });
-        // ORDERING: Relaxed — read after parallel_for returns (joined).
-        assert_eq!(count.load(Ordering::Relaxed), 8);
-    }
-
-    #[test]
-    fn split_ranges_partitions_exactly() {
-        for (n, t) in [(0usize, 4usize), (5, 1), (5, 8), (64, 4), (7, 3), (1, 1)] {
-            let ranges = split_ranges(n, t);
-            if n == 0 {
-                assert!(ranges.is_empty());
-                continue;
-            }
-            assert!(ranges.len() <= t && ranges.len() <= n);
-            assert_eq!(ranges[0].start, 0);
-            assert_eq!(ranges.last().unwrap().end, n);
-            for w in ranges.windows(2) {
-                assert_eq!(w[0].end, w[1].start);
-                // Near-equal: lengths differ by at most one, longest first.
-                assert!(w[0].len() >= w[1].len());
-                assert!(w[0].len() - w[1].len() <= 1);
-            }
-        }
-    }
-
-    #[test]
-    fn drop_joins_workers() {
-        let pool = ThreadPool::new(4);
-        pool.parallel_for(8, &|_| {});
-        drop(pool); // must not hang or leak
+    fn global_pool_is_shared_and_sized() {
+        let g = global();
+        assert!(g.threads() >= 1);
+        assert!(std::ptr::eq(g, global()));
     }
 }

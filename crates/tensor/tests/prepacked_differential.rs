@@ -25,16 +25,17 @@ use lsgd_tensor::gemm::{
 use lsgd_tensor::gemm::{gemm_flex, gemm_flex_parallel_in};
 use lsgd_tensor::pack::pack_b;
 use lsgd_tensor::panels::{PackedA, PackedPanelCache};
-use lsgd_tensor::threadpool::ThreadPool;
+
 use lsgd_tensor::SmallRng64;
 use proptest::prelude::*;
+use lsgd_runtime::Runtime;
 use std::sync::OnceLock;
 
-/// Shared 4-way pool so the parallel path is exercised regardless of the
-/// host's core count (CI runners are often single-core).
-fn pool() -> &'static ThreadPool {
-    static POOL: OnceLock<ThreadPool> = OnceLock::new();
-    POOL.get_or_init(|| ThreadPool::new(4))
+/// Shared injected 4-thread runtime so the parallel path is exercised
+/// regardless of the host's core count (CI runners are often single-core).
+fn pool() -> &'static Runtime {
+    static RT: OnceLock<Runtime> = OnceLock::new();
+    RT.get_or_init(|| Runtime::new(4))
 }
 
 fn dim(pool: &'static [usize]) -> impl Strategy<Value = usize> {

@@ -214,6 +214,12 @@ fn bench_scaling<P: Problem>(
 
 fn bench_sgd_step(c: &mut Criterion) {
     let smoke = std::env::var("LSGD_BENCH_SMOKE").is_ok();
+    // Optional trace window over the whole suite: needs both the probes
+    // compiled in (`--features trace` — NOT the default, so the reference
+    // bench stays untraced) and the runtime gate (`LSGD_TRACE=1`). The
+    // dump then explains bench medians with protocol counters (publish
+    // retries, snapshot retries, queue contention).
+    let collector = lsgd_trace::enabled().then(lsgd_trace::Collector::new);
     let mut group = c.benchmark_group("sgd_step");
     if smoke {
         group
@@ -261,6 +267,17 @@ fn bench_sgd_step(c: &mut Criterion) {
     }
 
     group.finish();
+
+    if let Some(collector) = collector {
+        let dump = collector.finish();
+        print!("{}", dump.report());
+        if let Some(path) = lsgd_trace::chrome_path() {
+            match lsgd_trace::chrome::append_run(&path, "sgd_step bench", &dump) {
+                Ok(_) => println!("chrome trace appended to {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
 }
 
 criterion_group!(benches, bench_sgd_step);

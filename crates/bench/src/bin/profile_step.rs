@@ -1,15 +1,17 @@
 //! Per-layer timing decomposition of one NN gradient step — the
-//! diagnostic behind the sgd_step benchmark's optimisation work. Prints
-//! wall time per (layer, direction) for the Table III CNN and Table II
-//! MLP at training minibatch sizes, on the current compute path.
+//! diagnostic behind the sgd_step benchmark's optimisation work. A thin
+//! consumer of `lsgd_trace` labeled spans: every (layer, direction) rep
+//! opens a span, and the report is the drained trace's per-label
+//! p50/p95/p99 table — the same machinery the trainer's phase stats use,
+//! so there is exactly one timing path to trust.
 //!
 //! ```text
-//! cargo run --release -p lsgd_bench --bin profile_step [baseline]
+//! cargo run --release -p lsgd_bench --features trace --bin profile_step [baseline]
 //! ```
 
+use lsgd_metrics::table::Table;
 use lsgd_nn::{ComputeOpts, Layer, LayerCache, Network, StepCtx};
 use lsgd_tensor::{Matrix, SmallRng64};
-use std::time::Instant;
 
 fn time_network(name: &str, net: &Network, batch: usize, baseline: bool) {
     let theta = net.init_params(1);
@@ -27,20 +29,15 @@ fn time_network(name: &str, net: &Network, batch: usize, baseline: bool) {
     for _ in 0..5 {
         net.loss_grad(&theta, &x, &y, &mut grad, &mut ws);
     }
-    let reps = 50;
-    let t0 = Instant::now();
-    for _ in 0..reps {
+    let label = lsgd_trace::label(&format!("{name} batch={batch} loss_grad"));
+    for _ in 0..50 {
+        let _span = lsgd_trace::span_labeled(label);
         net.loss_grad(&theta, &x, &y, &mut grad, &mut ws);
     }
-    let per = t0.elapsed().as_secs_f64() / reps as f64;
-    println!(
-        "{name} batch={batch} {}: loss_grad {:.3} ms",
-        if baseline { "baseline" } else { "fast" },
-        per * 1e3
-    );
 }
 
-/// Times one layer's forward and backward in isolation.
+/// Times one layer's forward and backward in isolation, one labeled span
+/// per rep.
 fn time_layer(l: &dyn Layer, batch: usize, baseline: bool) {
     let mut rng = SmallRng64::new(3);
     let mut params = vec![0.0f32; l.param_len()];
@@ -62,35 +59,40 @@ fn time_layer(l: &dyn Layer, batch: usize, baseline: bool) {
     } else {
         StepCtx::default()
     };
-    let reps = 100;
     for _ in 0..5 {
         ctx.panels.begin_step();
         l.forward(&params, &x, &mut yv, &mut cache, &mut ctx);
         l.backward(&params, &x, &yv, &dy, &mut cache, &mut ctx, &mut dp, &mut dx);
     }
-    let t0 = Instant::now();
+    let fwd = lsgd_trace::label(&format!("{} fwd", l.describe()));
+    let bwd = lsgd_trace::label(&format!("{} bwd", l.describe()));
+    let reps = 100;
     for _ in 0..reps {
         ctx.panels.begin_step();
+        let _span = lsgd_trace::span_labeled(fwd);
         l.forward(&params, &x, &mut yv, &mut cache, &mut ctx);
     }
-    let fwd = t0.elapsed().as_secs_f64() / reps as f64;
-    let t0 = Instant::now();
     for _ in 0..reps {
+        let _span = lsgd_trace::span_labeled(bwd);
         l.backward(&params, &x, &yv, &dy, &mut cache, &mut ctx, &mut dp, &mut dx);
     }
-    let bwd = t0.elapsed().as_secs_f64() / reps as f64;
-    println!(
-        "  {:<44} fwd {:>9.1} µs   bwd {:>9.1} µs",
-        l.describe(),
-        fwd * 1e6,
-        bwd * 1e6
-    );
 }
 
 fn main() {
+    if !lsgd_trace::COMPILED {
+        eprintln!(
+            "profile_step needs the trace probes compiled in; rerun with\n  \
+             cargo run --release -p lsgd_bench --features trace --bin profile_step"
+        );
+        std::process::exit(2);
+    }
+    lsgd_trace::enable();
     let baseline = std::env::args().any(|a| a == "baseline");
     let batch = 64;
-    println!("== per-layer (batch {batch}, {} path) ==", if baseline { "baseline" } else { "fast" });
+    println!(
+        "== per-layer (batch {batch}, {} path) ==",
+        if baseline { "baseline" } else { "fast" }
+    );
     use lsgd_nn::activation::Relu;
     use lsgd_nn::conv::Conv2d;
     use lsgd_nn::dense::Dense;
@@ -104,9 +106,33 @@ fn main() {
         Box::new(Dense::new(200, 128)),
         Box::new(Dense::new(128, 10)),
     ];
+    let mut collector = lsgd_trace::Collector::new();
     for l in &layers {
         time_layer(l.as_ref(), batch, baseline);
+        collector.sample(); // keep the ring from wrapping between layers
     }
     time_network("cnn", &lsgd_nn::cnn_mnist(), 64, baseline);
+    collector.sample();
     time_network("mlp", &lsgd_nn::mlp_mnist(), 128, baseline);
+
+    let dump = collector.finish();
+    let mut t = Table::new(vec!["site", "reps", "p50 µs", "p95 µs", "p99 µs"]);
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+    for (name, h) in dump.label_stats() {
+        t.row(vec![
+            name,
+            h.count().to_string(),
+            us(h.quantile(0.50)),
+            us(h.quantile(0.95)),
+            us(h.quantile(0.99)),
+        ]);
+    }
+    print!("{}", t.render());
+    if let Some(path) = lsgd_trace::chrome_path() {
+        let tag = if baseline { "profile_step baseline" } else { "profile_step fast" };
+        match lsgd_trace::chrome::append_run(&path, tag, &dump) {
+            Ok(_) => println!("chrome trace appended to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
 }

@@ -58,7 +58,7 @@ pub mod trainer;
 pub use algorithm::Algorithm;
 pub use paramvec::{LeashedShared, PublishOutcome, ReadGuard};
 pub use problem::{NnProblem, Problem, RegressionProblem, SparseLogRegProblem};
-pub use result::RunResult;
+pub use result::{RunResult, UpdateHistograms};
 pub use shard::{ShardedPublish, ShardedShared, ShardedSnapshot, SnapshotMode};
 pub use trainer::{train, EtaPolicy, TrainConfig};
 

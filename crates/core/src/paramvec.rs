@@ -331,6 +331,7 @@ impl LeashedShared {
             }
             // Raced with a publisher: back off this vector (possibly
             // reclaiming it) and fetch a fresher one.
+            lsgd_trace::count(lsgd_trace::Counter::ReadRetry);
             pv.stop_reading(&self.pool);
         }
     }
@@ -361,6 +362,7 @@ impl LeashedShared {
         on_attempt: impl FnMut(f64),
     ) -> PublishOutcome {
         assert_eq!(grad.len(), self.dim, "gradient length");
+        lsgd_trace::count(lsgd_trace::Counter::PublishDense);
         self.publish_with(
             persistence,
             |dst| lsgd_tensor::ops::sgd_step(dst, grad, eta),
@@ -389,6 +391,7 @@ impl LeashedShared {
         debug_assert!(pairs
             .iter()
             .all(|&(i, _)| (i >= offset) && ((i - offset) as usize) < self.dim));
+        lsgd_trace::count(lsgd_trace::Counter::PublishSparse);
         self.publish_with(
             persistence,
             |dst| {
@@ -416,6 +419,7 @@ impl LeashedShared {
         let mut failed: u32 = 0;
         let mut t_first_base: Option<u64> = None;
         loop {
+            lsgd_trace::count(lsgd_trace::Counter::PublishAttempt);
             let t0 = std::time::Instant::now();
             let latest = self.latest();
             let t_base = latest.seq();
@@ -471,6 +475,7 @@ impl LeashedShared {
                 };
             }
             failed += 1;
+            lsgd_trace::count(lsgd_trace::Counter::PublishRetry);
             if let Some(tp) = persistence {
                 if failed > tp {
                     // Abandon: recycle the never-published vector.
@@ -479,6 +484,7 @@ impl LeashedShared {
                     // feeds safe_delete's own checks.
                     new_pv.stale.store(true, Ordering::SeqCst);
                     new_pv.safe_delete(&self.pool);
+                    lsgd_trace::count(lsgd_trace::Counter::PublishAbort);
                     return PublishOutcome::Aborted { failed_cas: failed };
                 }
             }

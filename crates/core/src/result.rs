@@ -2,7 +2,40 @@
 
 use crate::algorithm::Algorithm;
 use lsgd_metrics::{Histogram, OnlineStats, Outcome, Series};
+use lsgd_trace::PhaseStats;
 use std::time::Duration;
+
+/// The per-update unit-bin histogram trio every run records (total
+/// staleness τ, scheduling staleness τs, dirty shards per publication) —
+/// one constructor so the trainer's worker stats, merged results, and
+/// test fixtures can't drift apart on caps.
+#[derive(Debug, Clone)]
+pub struct UpdateHistograms {
+    /// Total staleness distribution τ (Fig. 6).
+    pub staleness: Histogram,
+    /// Scheduling staleness τs (Leashed-SGD; §IV.2).
+    pub tau_s: Histogram,
+    /// Dirty shards per update (sharded Leashed-SGD only).
+    pub dirty_shards: Histogram,
+}
+
+impl UpdateHistograms {
+    /// Creates the trio with one shared unit-bin cap.
+    pub fn new(cap: usize) -> Self {
+        UpdateHistograms {
+            staleness: Histogram::new(cap),
+            tau_s: Histogram::new(cap),
+            dirty_shards: Histogram::new(cap),
+        }
+    }
+
+    /// Merges another trio (caps must match, as for [`Histogram::merge`]).
+    pub fn merge(&mut self, other: &UpdateHistograms) {
+        self.staleness.merge(&other.staleness);
+        self.tau_s.merge(&other.tau_s);
+        self.dirty_shards.merge(&other.dirty_shards);
+    }
+}
 
 /// Aggregated outcome of a [`crate::trainer::train`] run.
 #[derive(Debug, Clone)]
@@ -57,6 +90,15 @@ pub struct RunResult {
     pub mem_allocs: u64,
     /// Buffer reuses served by the recycling pool.
     pub mem_reuses: u64,
+    /// Per-phase latency histograms (snapshot-read / grad-compute / pack
+    /// / publish / monitor-eval) with p50/p95/p99 — populated only for
+    /// traced runs (`--features trace` + `LSGD_TRACE=1`), empty (and
+    /// allocation-free) otherwise.
+    pub phase_stats: PhaseStats,
+    /// Per-run protocol counter deltas from `lsgd_trace` (`(name, count)`
+    /// pairs: publish attempts/retries/aborts, snapshot retries, queue
+    /// and scheduler events). Empty for untraced runs.
+    pub trace_counters: Vec<(&'static str, u64)>,
 }
 
 impl RunResult {
@@ -117,6 +159,26 @@ impl RunResult {
             self.mem_peak_bytes / 1024,
         )
     }
+
+    /// Multi-line observability report for traced runs: the per-phase
+    /// p50/p95/p99 table plus nonzero protocol counters. Empty string
+    /// when the run was untraced (so callers can print unconditionally).
+    pub fn trace_report(&self) -> String {
+        let mut s = self.phase_stats.table();
+        let nonzero: Vec<_> = self
+            .trace_counters
+            .iter()
+            .filter(|&&(_, v)| v != 0)
+            .collect();
+        if !nonzero.is_empty() {
+            let mut t = lsgd_metrics::table::Table::new(vec!["counter", "count"]);
+            for &&(name, v) in &nonzero {
+                t.row(vec![name.to_string(), v.to_string()]);
+            }
+            s.push_str(&t.render());
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +203,8 @@ mod tests {
             staleness: Histogram::new(8),
             tau_s: Histogram::new(8),
             dirty_shards: Histogram::new(8),
+            phase_stats: PhaseStats::empty(),
+            trace_counters: Vec::new(),
             published: 500,
             aborted: 0,
             failed_cas: 3,
@@ -183,5 +247,25 @@ mod tests {
         assert!(s.contains("HOG"));
         assert!(s.contains("50%:1.50s"));
         assert!(s.contains("10%:div"));
+    }
+
+    #[test]
+    fn update_histograms_share_one_cap_and_merge() {
+        let mut a = UpdateHistograms::new(16);
+        let mut b = UpdateHistograms::new(16);
+        a.staleness.record(3);
+        b.staleness.record(5);
+        b.dirty_shards.record(2);
+        a.merge(&b);
+        assert_eq!(a.staleness.count(), 2);
+        assert_eq!(a.dirty_shards.count(), 1);
+        assert_eq!(a.tau_s.count(), 0);
+    }
+
+    #[test]
+    fn untraced_run_has_empty_trace_report() {
+        let r = dummy();
+        assert!(r.phase_stats.is_empty());
+        assert!(r.trace_report().is_empty());
     }
 }

@@ -192,6 +192,7 @@ impl ShardedShared {
                 };
             }
             if retries >= max_retries {
+                lsgd_trace::count(lsgd_trace::Counter::SnapshotInconsistent);
                 return ShardedSnapshot {
                     guards,
                     seqs,
@@ -200,6 +201,7 @@ impl ShardedShared {
                 };
             }
             retries += 1;
+            lsgd_trace::count(lsgd_trace::Counter::SnapshotRetry);
             guards.clear();
             seqs.clear();
         }

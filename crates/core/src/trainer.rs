@@ -15,9 +15,10 @@ use crate::mem::MemoryGauge;
 use crate::paramvec::{LeashedShared, PublishOutcome};
 use crate::pool::BufferPool;
 use crate::problem::Problem;
-use crate::result::RunResult;
+use crate::result::{RunResult, UpdateHistograms};
 use crate::shard::{effective_shards, ShardedShared};
-use lsgd_metrics::{ConvergenceTracker, Histogram, OnlineStats, Series};
+use lsgd_metrics::{ConvergenceTracker, OnlineStats, Series};
+use lsgd_trace::Phase;
 use lsgd_tensor::SmallRng64;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -113,9 +114,7 @@ impl Default for TrainConfig {
 /// Per-worker statistics merged into the [`RunResult`].
 #[derive(Debug)]
 struct WorkerStats {
-    staleness: Histogram,
-    tau_s: Histogram,
-    dirty_shards: Histogram,
+    hists: UpdateHistograms,
     published: u64,
     aborted: u64,
     failed_cas: u64,
@@ -127,9 +126,7 @@ struct WorkerStats {
 impl WorkerStats {
     fn new(cap: usize) -> Self {
         WorkerStats {
-            staleness: Histogram::new(cap),
-            tau_s: Histogram::new(cap),
-            dirty_shards: Histogram::new(cap),
+            hists: UpdateHistograms::new(cap),
             published: 0,
             aborted: 0,
             failed_cas: 0,
@@ -140,9 +137,7 @@ impl WorkerStats {
     }
 
     fn merge(&mut self, other: &WorkerStats) {
-        self.staleness.merge(&other.staleness);
-        self.tau_s.merge(&other.tau_s);
-        self.dirty_shards.merge(&other.dirty_shards);
+        self.hists.merge(&other.hists);
         self.published += other.published;
         self.aborted += other.aborted;
         self.failed_cas += other.failed_cas;
@@ -246,6 +241,10 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
 
     let start = Instant::now();
     let mut merged = WorkerStats::new(cfg.staleness_cap);
+    // Per-run trace window: baselines the process-wide counters now so the
+    // final dump reports deltas for this run only. A ZST no-op unless the
+    // `trace` feature is compiled in and LSGD_TRACE is set.
+    let mut collector = lsgd_trace::Collector::new();
 
     // Workers and the monitor all run as tasks of the unified runtime: the
     // same workers also execute the intra-step GEMM splits the tasks fan
@@ -264,6 +263,7 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
         let shared = &shared;
         let control = &control;
         let gauge = &gauge;
+        let collector = &mut collector;
         lsgd_runtime::global().scope(|scope| {
             for (worker_id, slot) in stats_slots.iter_mut().enumerate() {
                 scope.spawn(move || {
@@ -293,13 +293,20 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
                     // next round).
                     let published = control.total_published.load(Ordering::Relaxed);
 
-                    shared.snapshot_into(&mut snapshot);
-                    // ORDERING: Relaxed — crash flag, eventually observed.
-                    let loss = if control.crashed.load(Ordering::Relaxed) {
-                        f64::NAN
-                    } else {
-                        problem.eval_loss(&snapshot, monitor_scratch)
+                    let loss = {
+                        let _span = lsgd_trace::span(Phase::MonitorEval);
+                        shared.snapshot_into(&mut snapshot);
+                        // ORDERING: Relaxed — crash flag, eventually
+                        // observed.
+                        if control.crashed.load(Ordering::Relaxed) {
+                            f64::NAN
+                        } else {
+                            problem.eval_loss(&snapshot, monitor_scratch)
+                        }
                     };
+                    // Drain worker rings at monitor cadence so span volume
+                    // never outgrows the fixed-capacity rings.
+                    collector.sample();
                     loss_trace.push(elapsed.as_secs_f64(), loss);
                     mem_trace.push(elapsed.as_secs_f64(), gauge.live() as f64);
                     let done = tracker.observe(elapsed, loss);
@@ -327,6 +334,16 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
         merged.merge(stats);
     }
 
+    let dump = collector.finish();
+    if let Some(path) = lsgd_trace::chrome_path() {
+        if !dump.is_empty() {
+            let label = format!("{} m={}", cfg.algorithm.label(), threads);
+            if let Err(e) = lsgd_trace::chrome::append_run(&path, &label, &dump) {
+                eprintln!("lsgd_trace: failed to write {path}: {e}");
+            }
+        }
+    }
+
     let wall = start.elapsed();
     let pool_peak = match &shared {
         SharedState::Leashed(s) => s.pool().outstanding_peak(),
@@ -345,9 +362,11 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
         iters_to_eps,
         loss_trace,
         mem_trace,
-        staleness: merged.staleness,
-        tau_s: merged.tau_s,
-        dirty_shards: merged.dirty_shards,
+        staleness: merged.hists.staleness,
+        tau_s: merged.hists.tau_s,
+        dirty_shards: merged.hists.dirty_shards,
+        phase_stats: dump.phases,
+        trace_counters: dump.counters,
         published: merged.published,
         aborted: merged.aborted,
         failed_cas: merged.failed_cas,
@@ -457,9 +476,13 @@ fn run_worker<P: Problem>(
         let t0;
         let loss;
         {
-            let guard = s.latest();
+            let guard = {
+                let _span = lsgd_trace::span(Phase::SnapshotRead);
+                s.latest()
+            };
             t0 = guard.seq();
             let tc_start = Instant::now();
+            let _span = lsgd_trace::span(Phase::GradCompute);
             // Gradient computed directly from the published memory — the
             // zero-copy read of paper P3.
             loss = problem.grad(guard.theta(), &mut grad, &mut scratch, &mut rng);
@@ -482,9 +505,12 @@ fn run_worker<P: Problem>(
             .effective(cfg.eta, s.current_seq().saturating_sub(t0));
         let direction = fold_momentum(&mut grad, &mut velocity, cfg.momentum);
         let tu_stats = &mut stats.tu;
-        let outcome = s.publish_update(direction, eta, persistence, |secs| {
-            tu_stats.record(secs);
-        });
+        let outcome = {
+            let _span = lsgd_trace::span(Phase::Publish);
+            s.publish_update(direction, eta, persistence, |secs| {
+                tu_stats.record(secs);
+            })
+        };
         match outcome {
             PublishOutcome::Published {
                 t_new,
@@ -496,11 +522,11 @@ fn run_worker<P: Problem>(
                 stats.failed_cas += failed_cas as u64;
                 // τ: concurrent updates between the read (t0) and this
                 // update taking effect (t_new labels position t_new-1+1).
-                stats.staleness.record(t_new - 1 - t0);
+                stats.hists.staleness.record(t_new - 1 - t0);
                 // τs: competitors that won the LAU-SPC race after this
                 // update was first ready to publish (§IV.2); exactly 0 for
                 // every published update when Tp = 0.
-                stats.tau_s.record(t_new - 1 - t_first_base);
+                stats.hists.tau_s.record(t_new - 1 - t_first_base);
                 // ORDERING: Relaxed — monotone progress tally; exact
                 // totals are only read after the scope join.
                 control.total_published.fetch_add(1, Ordering::Relaxed);
@@ -559,6 +585,7 @@ fn run_sharded_worker<P: Problem>(
     while !control.stop.load(Ordering::Relaxed) {
         let iter_start = Instant::now();
         {
+            let _span = lsgd_trace::span(Phase::SnapshotRead);
             let snap = shared.snapshot(snapshot_mode, WORKER_SNAPSHOT_RETRIES);
             base_seqs.clear();
             base_seqs.extend_from_slice(snap.seqs());
@@ -567,14 +594,17 @@ fn run_sharded_worker<P: Problem>(
         let tc_start = Instant::now();
         let mut sparse_ready = false;
         let mut loss = f32::NAN;
-        if sparse_native_ok {
-            if let Some(l) = problem.grad_sparse(local, &mut pairs, scratch, rng) {
-                loss = l;
-                sparse_ready = true;
+        {
+            let _span = lsgd_trace::span(Phase::GradCompute);
+            if sparse_native_ok {
+                if let Some(l) = problem.grad_sparse(local, &mut pairs, scratch, rng) {
+                    loss = l;
+                    sparse_ready = true;
+                }
             }
-        }
-        if !sparse_ready {
-            loss = problem.grad(local, grad, scratch, rng);
+            if !sparse_ready {
+                loss = problem.grad(local, grad, scratch, rng);
+            }
         }
         stats.tc.record(tc_start.elapsed().as_secs_f64());
         if !loss.is_finite() {
@@ -598,36 +628,39 @@ fn run_sharded_worker<P: Problem>(
             .unwrap_or(0);
         let eta = cfg.eta_policy.effective(cfg.eta, tau_est);
         let tu_stats = &mut stats.tu;
-        let outcome = if sparse_ready {
-            shared.publish_sparse(&pairs, eta, persistence, Some(&base_seqs), |secs| {
-                tu_stats.record(secs)
-            })
-        } else if cfg.momentum == 0.0 {
-            if let Some(frac) = cfg.sparsify {
-                // Index extraction feeds the dirty-shard path directly —
-                // no zeroing pass, no dense re-scan at publish time.
-                crate::sparsify::sparsify_top_frac_indices(
-                    grad,
-                    frac,
-                    &mut sparsify_scratch,
-                    &mut pairs,
-                );
+        let outcome = {
+            let _span = lsgd_trace::span(Phase::Publish);
+            if sparse_ready {
                 shared.publish_sparse(&pairs, eta, persistence, Some(&base_seqs), |secs| {
                     tu_stats.record(secs)
                 })
+            } else if cfg.momentum == 0.0 {
+                if let Some(frac) = cfg.sparsify {
+                    // Index extraction feeds the dirty-shard path directly —
+                    // no zeroing pass, no dense re-scan at publish time.
+                    crate::sparsify::sparsify_top_frac_indices(
+                        grad,
+                        frac,
+                        &mut sparsify_scratch,
+                        &mut pairs,
+                    );
+                    shared.publish_sparse(&pairs, eta, persistence, Some(&base_seqs), |secs| {
+                        tu_stats.record(secs)
+                    })
+                } else {
+                    shared.publish_dense(grad, eta, persistence, Some(&base_seqs), |secs| {
+                        tu_stats.record(secs)
+                    })
+                }
             } else {
-                shared.publish_dense(grad, eta, persistence, Some(&base_seqs), |secs| {
+                if let Some(frac) = cfg.sparsify {
+                    crate::sparsify::sparsify_top_frac(grad, frac, &mut sparsify_scratch);
+                }
+                let direction = fold_momentum(grad, &mut velocity, cfg.momentum);
+                shared.publish_dense(direction, eta, persistence, Some(&base_seqs), |secs| {
                     tu_stats.record(secs)
                 })
             }
-        } else {
-            if let Some(frac) = cfg.sparsify {
-                crate::sparsify::sparsify_top_frac(grad, frac, &mut sparsify_scratch);
-            }
-            let direction = fold_momentum(grad, &mut velocity, cfg.momentum);
-            shared.publish_dense(direction, eta, persistence, Some(&base_seqs), |secs| {
-                tu_stats.record(secs)
-            })
         };
         // An update counts as published when at least one of its dirty
         // shards landed; fully abandoned updates count as aborted. An
@@ -637,9 +670,9 @@ fn run_sharded_worker<P: Problem>(
         // gradients vanish at convergence.
         if outcome.published > 0 || outcome.dirty == 0 {
             stats.published += 1;
-            stats.staleness.record(outcome.tau_max);
-            stats.tau_s.record(outcome.tau_s_max);
-            stats.dirty_shards.record(outcome.dirty as u64);
+            stats.hists.staleness.record(outcome.tau_max);
+            stats.hists.tau_s.record(outcome.tau_s_max);
+            stats.hists.dirty_shards.record(outcome.dirty as u64);
             // ORDERING: Relaxed — monotone progress tally; see above.
             control.total_published.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -670,9 +703,15 @@ fn run_locked_worker<P: Problem>(
     // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
         let iter_start = Instant::now();
-        let t0 = shared.read_into(local); // lock, copy, unlock
+        let t0 = {
+            let _span = lsgd_trace::span(Phase::SnapshotRead);
+            shared.read_into(local) // lock, copy, unlock
+        };
         let tc_start = Instant::now();
-        let loss = problem.grad(local, grad, scratch, rng);
+        let loss = {
+            let _span = lsgd_trace::span(Phase::GradCompute);
+            problem.grad(local, grad, scratch, rng)
+        };
         stats.tc.record(tc_start.elapsed().as_secs_f64());
         if !loss.is_finite() {
             // ORDERING: SeqCst pair — crash must be visible no later
@@ -691,9 +730,12 @@ fn run_locked_worker<P: Problem>(
             .effective(cfg.eta, shared.current_seq().saturating_sub(t0));
         let direction = fold_momentum(grad, &mut velocity, cfg.momentum);
         let tu_start = Instant::now();
-        let t_pub = shared.update(direction, eta); // lock, axpy, unlock
+        let t_pub = {
+            let _span = lsgd_trace::span(Phase::Publish);
+            shared.update(direction, eta) // lock, axpy, unlock
+        };
         stats.tu.record(tu_start.elapsed().as_secs_f64());
-        stats.staleness.record(t_pub - 1 - t0);
+        stats.hists.staleness.record(t_pub - 1 - t0);
         stats.published += 1;
         // ORDERING: Relaxed — monotone progress tally; see above.
         control.total_published.fetch_add(1, Ordering::Relaxed);
@@ -721,9 +763,15 @@ fn run_hogwild_worker<P: Problem>(
     // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
         let iter_start = Instant::now();
-        let t0 = shared.read_into(local); // unsynchronised copy
+        let t0 = {
+            let _span = lsgd_trace::span(Phase::SnapshotRead);
+            shared.read_into(local) // unsynchronised copy
+        };
         let tc_start = Instant::now();
-        let loss = problem.grad(local, grad, scratch, rng);
+        let loss = {
+            let _span = lsgd_trace::span(Phase::GradCompute);
+            problem.grad(local, grad, scratch, rng)
+        };
         stats.tc.record(tc_start.elapsed().as_secs_f64());
         if !loss.is_finite() {
             // ORDERING: SeqCst pair — crash must be visible no later
@@ -742,9 +790,12 @@ fn run_hogwild_worker<P: Problem>(
             .effective(cfg.eta, shared.current_seq().saturating_sub(t0));
         let direction = fold_momentum(grad, &mut velocity, cfg.momentum);
         let tu_start = Instant::now();
-        let t_pub = shared.update(direction, eta); // racy component updates
+        let t_pub = {
+            let _span = lsgd_trace::span(Phase::Publish);
+            shared.update(direction, eta) // racy component updates
+        };
         stats.tu.record(tu_start.elapsed().as_secs_f64());
-        stats.staleness.record(t_pub - 1 - t0);
+        stats.hists.staleness.record(t_pub - 1 - t0);
         stats.published += 1;
         // ORDERING: Relaxed — monotone progress tally; see above.
         control.total_published.fetch_add(1, Ordering::Relaxed);

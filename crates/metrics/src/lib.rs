@@ -6,6 +6,9 @@
 //!
 //! * [`histogram::Histogram`] — integer-bin histograms for the staleness
 //!   distributions of Fig. 6 / Fig. 7 (right).
+//! * [`histogram::LogHistogram`] — log-bucketed latency histograms with
+//!   ≈ 3%-tight quantile bounds, feeding the per-phase p50/p95/p99
+//!   reporting of the `lsgd_trace` observability layer.
 //! * [`stats::OnlineStats`] — Welford mean/variance for the Tc/Tu timing
 //!   measurements of Fig. 9.
 //! * [`boxstats::BoxStats`] — five-number summaries with 1.5·IQR outliers,
@@ -25,6 +28,6 @@ pub mod table;
 
 pub use boxstats::BoxStats;
 pub use convergence::{ConvergenceTracker, Outcome};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, LogHistogram};
 pub use series::Series;
 pub use stats::OnlineStats;

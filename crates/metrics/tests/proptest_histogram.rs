@@ -1,0 +1,89 @@
+//! Property suite for the histogram quantile estimators: on arbitrary
+//! (adversarial) sample sets, the reported quantile bounds must bracket
+//! the true order statistics, and the log-bucketed bounds must stay
+//! within their advertised ≈ 3% relative width. This is the contract the
+//! `lsgd_trace` per-phase p50/p95/p99 reporting rests on.
+
+use lsgd_metrics::{Histogram, LogHistogram};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Adversarial u64 samples: clusters at tiny values, geometric-bucket
+/// boundaries, power-of-two straddles, and huge outliers — the shapes
+/// that break naive bucketing. (The vendored proptest shim has no
+/// `prop_oneof!`, so the cluster choice is a mapped selector.)
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    vec((0u64..6, 0u64..u64::MAX / 2), 1..200).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(which, raw)| match which {
+                0 => raw % 64,                       // exact-bucket region
+                1 => 62 + raw % 4,                   // first geometric boundary
+                2 => 1_000 + raw % 100,              // mid-scale cluster
+                3 => (1u64 << 20) - 2 + raw % 4,     // power-of-two straddle
+                4 => raw,                            // anything
+                _ => u64::MAX,                       // extreme outlier
+            })
+            .collect()
+    })
+}
+
+/// The same rank convention both histogram `quantile` implementations
+/// use: `round(q * (n - 1))`.
+fn true_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// LogHistogram: `[lo, hi]` brackets the true order statistic at
+    /// every probed quantile, with bounded relative width.
+    #[test]
+    fn log_histogram_bounds_true_quantiles(mut vals in samples(), qs in vec(0.0f64..1.0, 1..8)) {
+        let mut h = LogHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in qs.into_iter().chain([0.0, 0.5, 0.95, 0.99, 1.0]) {
+            let truth = true_rank(&vals, q);
+            let (lo, hi) = h.quantile_bounds(q);
+            prop_assert!(lo <= truth && truth <= hi,
+                "q={q}: true {truth} outside [{lo}, {hi}]");
+            // Advertised precision: one sub-bucket (1/32 relative), so
+            // the conservative `quantile()` estimate never overstates the
+            // truth by more than ~3% (plus the unit slack of bucket 32's
+            // integer bounds).
+            prop_assert!(hi - lo <= lo / 32 + 1, "q={q}: [{lo}, {hi}] too wide");
+        }
+        // Aggregates are exact regardless of bucketing.
+        prop_assert_eq!(h.min(), vals[0]);
+        prop_assert_eq!(h.max(), *vals.last().unwrap());
+        prop_assert_eq!(h.count(), vals.len() as u64);
+    }
+
+    /// Unit-bin Histogram: below the cap the quantile is the exact order
+    /// statistic; at or above it the estimate saturates at the cap
+    /// (a lower bound on the truth).
+    #[test]
+    fn unit_histogram_quantile_is_exact_below_cap(mut vals in vec(0u64..2_000, 1..200), q in 0.0f64..1.0) {
+        let cap = 1_000usize;
+        let mut h = Histogram::new(cap);
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [q, 1.0] {
+            let truth = true_rank(&vals, q);
+            let est = h.quantile(q);
+            if truth < cap as u64 {
+                prop_assert_eq!(est, truth);
+            } else {
+                prop_assert!(est <= truth, "saturated estimate {est} must lower-bound {truth}");
+                prop_assert!(est >= cap as u64);
+            }
+        }
+    }
+}

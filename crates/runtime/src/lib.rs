@@ -421,6 +421,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             shared.cv.notify_all();
         } else {
             drop(hub);
+            lsgd_trace::count(lsgd_trace::Counter::SpillThread);
             let shared = Arc::clone(&self.rt.shared);
             let handle = std::thread::Builder::new()
                 .name("lsgd-rt-scoped".into())
@@ -528,7 +529,9 @@ fn worker_loop(shared: &Shared, me: usize) {
                 drop(hub);
                 break; // back to the busy phase
             }
+            lsgd_trace::count(lsgd_trace::Counter::Park);
             hub = shared.cv.wait(hub).unwrap();
+            lsgd_trace::count(lsgd_trace::Counter::Unpark);
             hub.waiters -= 1;
             // ORDERING: Relaxed — as above.
             shared.idle_hint.store(hub.waiters, Ordering::Relaxed);
@@ -562,11 +565,14 @@ fn has_split_work(shared: &Shared) -> bool {
 
 /// Steal one task from any slot's deque (FIFO within each victim).
 fn steal_any(shared: &Shared) -> Option<Task> {
+    lsgd_trace::count(lsgd_trace::Counter::StealAttempt);
     for entry in shared.slots.iter() {
         if let Some(t) = entry.deque.steal() {
+            lsgd_trace::count(lsgd_trace::Counter::StealHit);
             return Some(t);
         }
     }
+    lsgd_trace::count(lsgd_trace::Counter::StealMiss);
     None
 }
 

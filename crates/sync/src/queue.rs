@@ -318,6 +318,7 @@ impl<T> SegQueue<T> {
                     return;
                 },
                 Err(current) => {
+                    lsgd_trace::count(lsgd_trace::Counter::QueuePushRetry);
                     tail = current;
                     seg = self.tail.0.segment.load(Ordering::Acquire);
                     backoff.spin();
@@ -370,6 +371,7 @@ impl<T> SegQueue<T> {
                     // ORDERING: Relaxed — ordered by the fence above.
                     tail = self.tail.0.index.load(Ordering::Relaxed);
                     if head >> SHIFT == tail >> SHIFT {
+                        lsgd_trace::count(lsgd_trace::Counter::QueueEmptyPop);
                         return None;
                     }
                 }
@@ -439,6 +441,7 @@ impl<T> SegQueue<T> {
                     return Some(value);
                 },
                 Err(current) => {
+                    lsgd_trace::count(lsgd_trace::Counter::QueuePopRetry);
                     head = current;
                     seg = self.head.0.segment.load(Ordering::Acquire);
                     backoff.spin();

@@ -286,6 +286,7 @@ impl PackedPanelCache {
         let idx = match idx {
             Some(i) => {
                 if self.a_slots[i].1 != self.epoch {
+                    let _span = lsgd_trace::span(lsgd_trace::Phase::Pack);
                     self.a_slots[i].2.pack(a, a_shape, ta);
                     self.a_slots[i].1 = self.epoch;
                     self.misses += 1;
@@ -295,6 +296,7 @@ impl PackedPanelCache {
                 i
             }
             None => {
+                let _span = lsgd_trace::span(lsgd_trace::Phase::Pack);
                 let mut packed = PackedA::default();
                 packed.pack(a, a_shape, ta);
                 self.a_slots.push((key, self.epoch, packed));
@@ -313,6 +315,7 @@ impl PackedPanelCache {
         let idx = match idx {
             Some(i) => {
                 if self.b_slots[i].1 != self.epoch {
+                    let _span = lsgd_trace::span(lsgd_trace::Phase::Pack);
                     self.b_slots[i].2.pack(b, b_shape, tb);
                     self.b_slots[i].1 = self.epoch;
                     self.misses += 1;
@@ -322,6 +325,7 @@ impl PackedPanelCache {
                 i
             }
             None => {
+                let _span = lsgd_trace::span(lsgd_trace::Phase::Pack);
                 let mut packed = PackedB::default();
                 packed.pack(b, b_shape, tb);
                 self.b_slots.push((key, self.epoch, packed));

@@ -87,6 +87,14 @@ fn main() {
             if r.fully_converged() { "conv" } else { "-" },
             dirty,
         );
+        // Protocol counters explain the throughput column: publish
+        // retries/aborts and snapshot retries are where the lock-free
+        // rows spend the updates/s they give up. Non-empty only when
+        // built with `--features trace` and `LSGD_TRACE=1` is set.
+        let report = r.trace_report();
+        if !report.is_empty() {
+            print!("{report}");
+        }
     }
 
     println!(

@@ -1,0 +1,117 @@
+//! Traced smoke train across all four algorithm families — the
+//! observability pipeline end to end.
+//!
+//! Runs short SEQ / HOGWILD! / Leashed / sharded-Leashed trains with
+//! tracing on, prints each run's per-phase p50/p95/p99 table and
+//! protocol counters, writes one Chrome-trace JSON (one process group
+//! per run, one lane per worker), then re-parses the file and fails
+//! (exit 1) unless every declared worker lane carries at least one
+//! complete span. CI runs exactly this as its traced smoke test.
+//!
+//! ```text
+//! cargo run --release --features trace --example trace_run [trace.json]
+//! ```
+
+use leashed_sgd::core::prelude::*;
+use leashed_sgd::trace;
+use std::time::Duration;
+
+fn main() {
+    if !trace::COMPILED {
+        eprintln!(
+            "trace_run needs the trace probes compiled in; rerun with\n  \
+             cargo run --release --features trace --example trace_run"
+        );
+        std::process::exit(2);
+    }
+    // Chrome sink path: CLI arg, else LSGD_TRACE_JSON, else a default in
+    // the target dir. Setting the env var (before any train) is how the
+    // trainer knows where to append.
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::var("LSGD_TRACE_JSON")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "target/trace_run.json".to_string())
+    });
+    let _ = std::fs::remove_file(&path); // fresh trajectory per invocation
+    std::env::set_var("LSGD_TRACE_JSON", &path);
+    trace::enable();
+
+    let data = lsgd_data::blobs::gaussian_blobs(600, 6, 3, 0.3, 42);
+    let net = lsgd_nn::tiny_mlp(6, 16, 3);
+    let problem = NnProblem::new(net, data, 32, 256);
+
+    let threads = 2;
+    let algos = [
+        Algorithm::Sequential,
+        Algorithm::Hogwild,
+        Algorithm::Leashed { persistence: Some(1) },
+        Algorithm::ShardedLeashed {
+            persistence: Some(1),
+            shards: 0, // dim/worker heuristic
+            snapshot: SnapshotMode::Consistent,
+        },
+    ];
+    for algo in algos {
+        let cfg = TrainConfig {
+            algorithm: algo,
+            threads,
+            eta: 0.1,
+            epsilons: vec![0.5],
+            max_wall: Duration::from_secs(2),
+            eval_every: Duration::from_millis(20),
+            seed: 7,
+            ..TrainConfig::default()
+        };
+        let r = train(&problem, &cfg);
+        println!("{}", r.summary());
+        let report = r.trace_report();
+        if report.is_empty() {
+            eprintln!("FAIL: traced run produced no phase stats ({})", algo.label());
+            std::process::exit(1);
+        }
+        print!("{report}");
+        if r.phase_stats.is_empty() {
+            eprintln!("FAIL: empty per-phase histograms ({})", algo.label());
+            std::process::exit(1);
+        }
+        println!();
+    }
+
+    // Validate the accumulated Chrome trace: parses, one run group per
+    // train, every declared worker lane has >= 1 complete span.
+    match trace::chrome::validate_file(&path) {
+        Ok(summary) => {
+            println!(
+                "{path}: {} events, {} runs, {} lanes, min {} span(s)/lane",
+                summary.total_events,
+                summary.runs,
+                summary.named_lanes,
+                summary.min_spans_per_lane()
+            );
+            if summary.runs != algos.len() {
+                eprintln!("FAIL: expected {} run groups, got {}", algos.len(), summary.runs);
+                std::process::exit(1);
+            }
+            // Each traced run has at least its workers' lanes (the
+            // monitor lane shows up too when it recorded spans).
+            if summary.named_lanes < algos.len() * threads {
+                eprintln!(
+                    "FAIL: expected >= {} worker lanes, got {}",
+                    algos.len() * threads,
+                    summary.named_lanes
+                );
+                std::process::exit(1);
+            }
+            if summary.min_spans_per_lane() == 0 {
+                eprintln!("FAIL: a worker lane carries no complete span");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: {path} is not a loadable Chrome trace: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("trace_run: OK — load {path} in Perfetto / chrome://tracing");
+}

@@ -7,3 +7,4 @@ pub use lsgd_metrics as metrics;
 pub use lsgd_nn as nn;
 pub use lsgd_sync as sync;
 pub use lsgd_tensor as tensor;
+pub use lsgd_trace as trace;

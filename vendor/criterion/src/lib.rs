@@ -268,11 +268,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
         None => String::new(),
     };
     println!(
-        "  {id:<40} median {:>11} mean {:>11} stddev {:>11} min {:>11}{rate}",
+        "  {id:<40} median {:>11} mean {:>11} stddev {:>11} min {:>11} p99 {:>11}{rate}",
         fmt_time(stats.median),
         fmt_time(stats.mean),
         fmt_time(stats.stddev),
         fmt_time(stats.min),
+        fmt_time(stats.p99),
     );
 }
 
@@ -283,6 +284,9 @@ struct Stats {
     mean: f64,
     stddev: f64,
     min: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
 }
 
 impl Stats {
@@ -303,11 +307,18 @@ impl Stats {
         } else {
             0.0
         };
+        // Nearest-rank (round(q·(n-1))) percentiles — the convention the
+        // workspace's LogHistogram quantiles use, so bench tails and
+        // trace tails are directly comparable.
+        let pct = |q: f64| sorted[((q * (n - 1) as f64).round() as usize).min(n - 1)];
         Stats {
             median,
             mean,
             stddev,
             min: sorted[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
         }
     }
 }
@@ -363,13 +374,18 @@ mod json_sink {
     /// from the median for the same outlier-resistance reason as the
     /// printed report.
     pub(super) fn entry_json(id: &str, stats: &Stats, throughput: Option<Throughput>) -> String {
+        // `p50_s`/`p95_s`/`p99_s` are additive — older trajectory files
+        // without them still parse, diff tooling just skips the tails.
         let mut s = format!(
-            "{{\"id\":\"{}\",\"median_s\":{:e},\"mean_s\":{:e},\"stddev_s\":{:e},\"min_s\":{:e}",
+            "{{\"id\":\"{}\",\"median_s\":{:e},\"mean_s\":{:e},\"stddev_s\":{:e},\"min_s\":{:e},\"p50_s\":{:e},\"p95_s\":{:e},\"p99_s\":{:e}",
             escape(id),
             stats.median,
             stats.mean,
             stats.stddev,
-            stats.min
+            stats.min,
+            stats.p50,
+            stats.p95,
+            stats.p99
         );
         match throughput {
             Some(Throughput::Elements(n)) => {
@@ -421,11 +437,16 @@ mod json_sink {
                 mean: 2.0e-6,
                 stddev: 5.0e-7,
                 min: 1.0e-6,
+                p50: 1.25e-6,
+                p95: 3.0e-6,
+                p99: 4.0e-6,
             };
             let j = entry_json("group/bench \"x\"", &stats, Some(Throughput::Elements(1000)));
             assert!(j.starts_with('{') && j.ends_with('}'));
             assert!(j.contains("\"id\":\"group/bench \\\"x\\\"\""));
             assert!(j.contains("\"median_s\":1.25e-6"));
+            assert!(j.contains("\"p95_s\":3e-6"));
+            assert!(j.contains("\"p99_s\":4e-6"));
             assert!(j.contains("\"elements\":1000"));
             // 1000 elements / 1.25 µs = 800 Melem/s.
             assert!(j.contains("\"melem_per_s\":800.000"), "{j}");
@@ -441,6 +462,9 @@ mod json_sink {
                 mean: 0.5,
                 stddev: 0.0,
                 min: 0.5,
+                p50: 0.5,
+                p95: 0.5,
+                p99: 0.5,
             };
             let j = entry_json("plain", &stats, None);
             assert!(!j.contains("melem_per_s") && !j.contains("mib_per_s"));
@@ -566,6 +590,19 @@ mod tests {
         assert_eq!(s.min, 0.9);
         assert!(s.mean > 20.0, "mean should absorb the outlier, got {}", s.mean);
         assert!(s.stddev > 40.0, "stddev should expose it, got {}", s.stddev);
+    }
+
+    #[test]
+    fn stats_percentiles_use_nearest_rank() {
+        // 101 samples 0..=100: p50 = 50, p95 = 95, p99 = 99 exactly.
+        let samples: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let s = Stats::from_samples(&samples);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        // Singleton: every percentile is the sample.
+        let one = Stats::from_samples(&[7.0]);
+        assert_eq!((one.p50, one.p95, one.p99), (7.0, 7.0, 7.0));
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
 type Kernel = fn(f32, &Matrix, Transpose, &Matrix, Transpose, f32, &mut Matrix);
 
 fn bench_gemm(c: &mut Criterion) {
-    let smoke = std::env::var("LSGD_BENCH_SMOKE").is_ok();
+    let smoke = lsgd_core::env::flag("LSGD_BENCH_SMOKE");
     let mut group = c.benchmark_group("gemm");
     if smoke {
         group

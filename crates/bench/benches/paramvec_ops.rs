@@ -27,7 +27,7 @@ fn shared(d: usize) -> LeashedShared {
 }
 
 fn bench_ops(c: &mut Criterion) {
-    let smoke = std::env::var("LSGD_BENCH_SMOKE").is_ok();
+    let smoke = lsgd_core::env::flag("LSGD_BENCH_SMOKE");
     let mut group = c.benchmark_group("paramvec_ops");
     if smoke {
         group

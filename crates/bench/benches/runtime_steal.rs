@@ -182,7 +182,7 @@ fn panel_kernel(buf: &mut [f32], passes: usize) {
 }
 
 fn bench_runtime_steal(c: &mut Criterion) {
-    let smoke = std::env::var("LSGD_BENCH_SMOKE").is_ok();
+    let smoke = lsgd_core::env::flag("LSGD_BENCH_SMOKE");
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

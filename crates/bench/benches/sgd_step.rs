@@ -213,7 +213,7 @@ fn bench_scaling<P: Problem>(
 }
 
 fn bench_sgd_step(c: &mut Criterion) {
-    let smoke = std::env::var("LSGD_BENCH_SMOKE").is_ok();
+    let smoke = lsgd_core::env::flag("LSGD_BENCH_SMOKE");
     // Optional trace window over the whole suite: needs both the probes
     // compiled in (`--features trace` — NOT the default, so the reference
     // bench stays untraced) and the runtime gate (`LSGD_TRACE=1`). The

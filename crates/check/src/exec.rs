@@ -113,15 +113,11 @@ impl Config {
     /// environment overrides (used by CI to scale exploration without
     /// touching test code).
     pub fn from_env(mut self) -> Self {
-        if let Ok(v) = std::env::var("LSGD_MODEL_PREEMPTIONS") {
-            if let Ok(n) = v.parse::<u32>() {
-                self.preemption_bound = Some(n);
-            }
+        if let Some(n) = crate::env::parse::<u32>("LSGD_MODEL_PREEMPTIONS") {
+            self.preemption_bound = Some(n);
         }
-        if let Ok(v) = std::env::var("LSGD_MODEL_MAX_SCHEDULES") {
-            if let Ok(n) = v.parse::<u64>() {
-                self.max_schedules = n;
-            }
+        if let Some(n) = crate::env::parse::<u64>("LSGD_MODEL_MAX_SCHEDULES") {
+            self.max_schedules = n;
         }
         self
     }

@@ -69,6 +69,7 @@
 pub mod annotate;
 pub mod audit;
 pub mod clock;
+pub mod env;
 #[cfg_attr(not(lsgd_model), allow(dead_code))]
 mod exec;
 pub mod sync;
@@ -123,9 +124,9 @@ pub fn model(f: impl Fn() + Sync) {
 pub fn model_with(config: Config, f: impl Fn() + Sync) {
     let config = config.from_env();
     let max_schedules = config.max_schedules;
-    let report = match std::env::var("LSGD_MODEL_SEED") {
-        Ok(seed) if !seed.is_empty() => replay(config, &seed, f),
-        _ => explore(config, f),
+    let report = match env::var("LSGD_MODEL_SEED") {
+        Some(seed) => replay(config, &seed, f),
+        None => explore(config, f),
     };
     if let Some(failure) = &report.failure {
         panic!(

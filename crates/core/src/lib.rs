@@ -46,6 +46,7 @@
 
 pub mod algorithm;
 pub mod baseline;
+pub mod heartbeat;
 pub mod mem;
 pub mod paramvec;
 pub mod pool;
@@ -55,10 +56,16 @@ pub mod shard;
 pub mod sparsify;
 pub mod trainer;
 
+/// Checked `LSGD_*` environment-variable parsing (re-exported from
+/// `lsgd_check::env` so every layer shares one implementation): malformed
+/// values fall back to the documented default with a one-time warning
+/// instead of silently diverging per call site.
+pub use lsgd_check::env;
+
 pub use algorithm::Algorithm;
 pub use paramvec::{LeashedShared, PublishOutcome, ReadGuard};
 pub use problem::{NnProblem, Problem, RegressionProblem, SparseLogRegProblem};
-pub use result::{RunResult, UpdateHistograms};
+pub use result::{RunResult, UpdateHistograms, WorkerCrash};
 pub use shard::{ShardedPublish, ShardedShared, ShardedSnapshot, SnapshotMode};
 pub use trainer::{train, EtaPolicy, TrainConfig};
 

@@ -420,6 +420,9 @@ impl LeashedShared {
         let mut t_first_base: Option<u64> = None;
         loop {
             lsgd_trace::count(lsgd_trace::Counter::PublishAttempt);
+            // Injection seam: an armed `stall:publish` rule widens the
+            // copy→CAS window here, driving contention/retries up.
+            lsgd_fault::point(lsgd_fault::Site::Publish);
             let t0 = std::time::Instant::now();
             let latest = self.latest();
             let t_base = latest.seq();

@@ -37,6 +37,17 @@ impl UpdateHistograms {
     }
 }
 
+/// One contained trainer-worker panic: the run kept going on the
+/// surviving workers; this records who died and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerCrash {
+    /// The crashed worker's id.
+    pub worker: usize,
+    /// The panic payload, stringified (`"<non-string panic payload>"`
+    /// when the payload was neither `&str` nor `String`).
+    pub message: String,
+}
+
 /// Aggregated outcome of a [`crate::trainer::train`] run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -99,6 +110,15 @@ pub struct RunResult {
     /// pairs: publish attempts/retries/aborts, snapshot retries, queue
     /// and scheduler events). Empty for untraced runs.
     pub trace_counters: Vec<(&'static str, u64)>,
+    /// Workers that panicked and were contained (the run continued on
+    /// the survivors). Empty for a clean run.
+    pub worker_crashes: Vec<WorkerCrash>,
+    /// Consistent-mode snapshots that exhausted their validate budget
+    /// and degraded to a fresh per-shard Fast read.
+    pub degraded_snapshots: u64,
+    /// Worker stalls detected by the monitor's heartbeat watchdog (one
+    /// per entered stall span, not per poll).
+    pub heartbeat_stalls: u64,
 }
 
 impl RunResult {
@@ -144,8 +164,17 @@ impl RunResult {
         } else {
             String::new()
         };
+        let faults = if self.worker_crashes.is_empty() && self.heartbeat_stalls == 0 {
+            String::new()
+        } else {
+            format!(
+                " faults(wcrash {} stall {})",
+                self.worker_crashes.len(),
+                self.heartbeat_stalls
+            )
+        };
         format!(
-            "{} m={} upd={} ({:.0}/s) abort={} loss {:.3}->{:.3} [{}] stale(mean {:.1}){} mem {}KB",
+            "{} m={} upd={} ({:.0}/s) abort={} loss {:.3}->{:.3} [{}] stale(mean {:.1}){}{} mem {}KB",
             self.algorithm.label(),
             self.threads,
             self.published,
@@ -156,6 +185,7 @@ impl RunResult {
             conv.join(" "),
             self.staleness.mean(),
             dirty,
+            faults,
             self.mem_peak_bytes / 1024,
         )
     }
@@ -216,6 +246,9 @@ mod tests {
             pool_outstanding_peak: 0,
             mem_allocs: 0,
             mem_reuses: 0,
+            worker_crashes: Vec::new(),
+            degraded_snapshots: 0,
+            heartbeat_stalls: 0,
         }
     }
 
@@ -247,6 +280,16 @@ mod tests {
         assert!(s.contains("HOG"));
         assert!(s.contains("50%:1.50s"));
         assert!(s.contains("10%:div"));
+    }
+
+    #[test]
+    fn summary_reports_contained_faults_only_when_present() {
+        let mut r = dummy();
+        assert!(!r.summary().contains("faults"));
+        r.worker_crashes.push(WorkerCrash { worker: 2, message: "boom".into() });
+        r.heartbeat_stalls = 3;
+        let s = r.summary();
+        assert!(s.contains("faults(wcrash 1 stall 3)"), "{s}");
     }
 
     #[test]

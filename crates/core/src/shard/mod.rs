@@ -81,15 +81,11 @@ pub fn default_shards(dim: usize, workers: usize) -> usize {
 /// count (`configured == 0` means "auto"). The constructor additionally
 /// clamps to `[1, dim]`.
 pub fn effective_shards(configured: usize, dim: usize, workers: usize) -> usize {
-    std::env::var("LSGD_SHARDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n: &usize| n > 0)
-        .unwrap_or(if configured > 0 {
-            configured
-        } else {
-            default_shards(dim, workers)
-        })
+    lsgd_check::env::positive_usize("LSGD_SHARDS").unwrap_or(if configured > 0 {
+        configured
+    } else {
+        default_shards(dim, workers)
+    })
 }
 
 #[cfg(test)]

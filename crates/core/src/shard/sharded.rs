@@ -149,9 +149,11 @@ impl ShardedShared {
 
     /// Acquires a multi-shard read. `Fast` performs one counted read per
     /// shard; `Consistent` runs the double-collect validation loop,
-    /// giving up (and returning its last acquisition, flagged
-    /// inconsistent) after `max_retries` failed validations — pass
-    /// `u32::MAX` for an effectively unbounded, lock-free retry loop.
+    /// **degrading** after `max_retries` failed validations: the stale
+    /// guards are dropped and one fresh per-shard Fast read is returned,
+    /// flagged inconsistent and [degraded](ShardedSnapshot::is_degraded)
+    /// — pass `u32::MAX` for an effectively unbounded, lock-free retry
+    /// loop.
     pub fn snapshot(&self, mode: SnapshotMode, max_retries: u32) -> ShardedSnapshot<'_> {
         let s = self.shards.len();
         let mut retries = 0u32;
@@ -160,6 +162,9 @@ impl ShardedShared {
         let mut guards = Vec::with_capacity(s);
         let mut seqs = Vec::with_capacity(s);
         loop {
+            // Injection seam: an armed `stall:snapshot` rule widens the
+            // collect/validate window here, forcing validation failures.
+            lsgd_fault::point(lsgd_fault::Site::SnapshotValidate);
             for shard in &self.shards {
                 let g = shard.latest();
                 seqs.push(g.seq());
@@ -172,6 +177,7 @@ impl ShardedShared {
                     guards,
                     seqs,
                     consistent: s == 1,
+                    degraded: false,
                     retries,
                 };
             }
@@ -188,15 +194,31 @@ impl ShardedShared {
                     guards,
                     seqs,
                     consistent: true,
+                    degraded: false,
                     retries,
                 };
             }
             if retries >= max_retries {
+                // Graceful degradation: under sustained publish pressure
+                // the validated point may never arrive. Drop the stale
+                // acquisition (releasing its counted reads — holding old
+                // guards would pin reclamation) and take one fresh Fast
+                // collect, so the caller proceeds on the newest per-shard
+                // values instead of spinning or computing on an old view.
                 lsgd_trace::count(lsgd_trace::Counter::SnapshotInconsistent);
+                lsgd_trace::count(lsgd_trace::Counter::SnapshotDegraded);
+                guards.clear();
+                seqs.clear();
+                for shard in &self.shards {
+                    let g = shard.latest();
+                    seqs.push(g.seq());
+                    guards.push(g);
+                }
                 return ShardedSnapshot {
                     guards,
                     seqs,
                     consistent: false,
+                    degraded: true,
                     retries,
                 };
             }
@@ -406,9 +428,65 @@ mod tests {
     #[test]
     fn fast_snapshot_is_flagged_inconsistent_for_multiple_shards() {
         let sh = sharded(8, 2, 0.0);
-        assert!(!sh.snapshot(SnapshotMode::Fast, 0).is_consistent());
+        let fast = sh.snapshot(SnapshotMode::Fast, 0);
+        assert!(!fast.is_consistent());
+        assert!(!fast.is_degraded(), "Fast mode never 'degrades'");
+        drop(fast);
         let single = sharded(8, 1, 0.0);
         assert!(single.snapshot(SnapshotMode::Fast, 0).is_consistent());
+    }
+
+    #[test]
+    fn consistent_snapshot_degrades_to_fresh_fast_under_pressure() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let sh = sharded(16, 4, 0.0);
+        // Uncontended, a zero retry budget still validates first try.
+        let snap = sh.snapshot(SnapshotMode::Consistent, 0);
+        assert!(snap.is_consistent() && !snap.is_degraded());
+        drop(snap);
+
+        // Under a publish storm, a zero-retry Consistent snapshot must
+        // eventually fail validation — and then *degrade* (fresh Fast
+        // re-collect with live guards), not spin and not panic. The race
+        // window is a publish landing mid-collect; on a single CPU that
+        // only happens when the OS preempts this thread mid-snapshot, so
+        // the loop is wall-clock-bounded and — deliberately — never
+        // yields: a voluntary yield between snapshots would move every
+        // context switch outside the vulnerable window.
+        let stop = AtomicBool::new(false);
+        let grad = vec![1.0f32; 16];
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // ORDERING: Relaxed — plain test shutdown flag; the scope
+                // join is the real synchronisation point.
+                while !stop.load(Ordering::Relaxed) {
+                    sh.publish_dense(&grad, 1e-6, None, None, |_| {});
+                }
+            });
+            // Wait until the publisher demonstrably runs.
+            let t0 = sh.shard(0).current_seq();
+            while sh.shard(0).current_seq() == t0 {
+                std::thread::yield_now();
+            }
+            let mut saw_degraded = false;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            while std::time::Instant::now() < deadline {
+                let snap = sh.snapshot(SnapshotMode::Consistent, 0);
+                assert_eq!(snap.num_shards(), 4);
+                if snap.is_degraded() {
+                    assert!(!snap.is_consistent());
+                    assert_eq!(snap.retries(), 0, "budget was zero");
+                    // The degraded view is a live, gatherable acquisition.
+                    let mut buf = vec![0.0f32; 16];
+                    snap.gather_into(&mut buf);
+                    saw_degraded = true;
+                    break;
+                }
+            }
+            // ORDERING: Relaxed — see above.
+            stop.store(true, Ordering::Relaxed);
+            assert!(saw_degraded, "publish storm never tripped degradation");
+        });
     }
 
     #[test]

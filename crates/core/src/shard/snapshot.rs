@@ -32,6 +32,7 @@ pub struct ShardedSnapshot<'a> {
     pub(super) guards: Vec<ReadGuard<'a>>,
     pub(super) seqs: Vec<u64>,
     pub(super) consistent: bool,
+    pub(super) degraded: bool,
     pub(super) retries: u32,
 }
 
@@ -60,6 +61,15 @@ impl<'a> ShardedSnapshot<'a> {
     /// returned its last (possibly mixed-version) acquisition.
     pub fn is_consistent(&self) -> bool {
         self.consistent
+    }
+
+    /// Whether a [`SnapshotMode::Consistent`] acquisition exhausted its
+    /// validate-retry budget and **degraded** to a fresh per-shard Fast
+    /// read (graceful degradation under publish pressure: the caller
+    /// gets the newest per-shard values, flagged not linearizable,
+    /// instead of spinning forever). Always `false` in Fast mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Validation retries performed before this snapshot was returned.

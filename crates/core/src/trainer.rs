@@ -11,17 +11,19 @@
 
 use crate::algorithm::Algorithm;
 use crate::baseline::{HogwildParams, LockedParams};
+use crate::heartbeat::{BeatPhase, HeartbeatBoard};
 use crate::mem::MemoryGauge;
 use crate::paramvec::{LeashedShared, PublishOutcome};
 use crate::pool::BufferPool;
 use crate::problem::Problem;
-use crate::result::{RunResult, UpdateHistograms};
+use crate::result::{RunResult, UpdateHistograms, WorkerCrash};
 use crate::shard::{effective_shards, ShardedShared};
 use lsgd_metrics::{ConvergenceTracker, OnlineStats, Series};
 use lsgd_trace::Phase;
 use lsgd_tensor::SmallRng64;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Step-size policy — `Constant` reproduces the paper; `TauAdaptive`
@@ -89,6 +91,11 @@ pub struct TrainConfig {
     /// SGD (the paper lists momentum among the hyper-parameters that
     /// "play a significant role", §I).
     pub momentum: f32,
+    /// Soft cap on live parameter-buffer bytes (`None` = uncapped, the
+    /// paper's setting). Under the cap, pressured pool allocations
+    /// briefly wait for a recyclable buffer before being forced through
+    /// — see [`MemoryGauge::set_cap`] and `BufferPool::acquire`.
+    pub mem_cap_bytes: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -107,6 +114,7 @@ impl Default for TrainConfig {
             eta_policy: EtaPolicy::Constant,
             pool_recycling: true,
             momentum: 0.0,
+            mem_cap_bytes: None,
         }
     }
 }
@@ -118,6 +126,8 @@ struct WorkerStats {
     published: u64,
     aborted: u64,
     failed_cas: u64,
+    /// Consistent snapshots this worker saw degrade to a Fast re-read.
+    degraded: u64,
     tc: OnlineStats,
     tu: OnlineStats,
     iter_time: OnlineStats,
@@ -130,6 +140,7 @@ impl WorkerStats {
             published: 0,
             aborted: 0,
             failed_cas: 0,
+            degraded: 0,
             tc: OnlineStats::new(),
             tu: OnlineStats::new(),
             iter_time: OnlineStats::new(),
@@ -141,6 +152,7 @@ impl WorkerStats {
         self.published += other.published;
         self.aborted += other.aborted;
         self.failed_cas += other.failed_cas;
+        self.degraded += other.degraded;
         self.tc.merge(&other.tc);
         self.tu.merge(&other.tu);
         self.iter_time.merge(&other.iter_time);
@@ -180,6 +192,68 @@ struct Control {
     stop: AtomicBool,
     crashed: AtomicBool,
     total_published: AtomicU64,
+    /// Workers still running their loop. Decremented once per worker on
+    /// exit (normal or contained panic); the monitor stops the run when
+    /// it hits 0 before `stop` was set (= every worker crashed).
+    alive: AtomicUsize,
+}
+
+/// RAII gauge accounting for worker-local buffers: the matching `sub`
+/// must run even when the worker's loop unwinds from a contained panic,
+/// or the run's live-byte accounting (and any cap) leaks permanently.
+struct GaugeHold {
+    gauge: Arc<MemoryGauge>,
+    bytes: usize,
+}
+
+impl GaugeHold {
+    fn new(gauge: Arc<MemoryGauge>, bytes: usize) -> GaugeHold {
+        gauge.add(bytes);
+        GaugeHold { gauge, bytes }
+    }
+}
+
+impl Drop for GaugeHold {
+    fn drop(&mut self) {
+        self.gauge.sub(self.bytes);
+    }
+}
+
+/// Stringifies a panic payload for [`WorkerCrash`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    }
+}
+
+/// Per-worker context for heartbeats and fault probes, threaded through
+/// every algorithm loop.
+struct WorkerCtx<'a> {
+    board: &'a HeartbeatBoard,
+    worker_id: usize,
+    start: Instant,
+}
+
+impl WorkerCtx<'_> {
+    /// One beat per iteration: ticks the liveness counter and (when the
+    /// monitor has drained the mailbox) publishes `(step, ns)`.
+    fn beat(&self, phase: BeatPhase, step: u64) {
+        self.board.beat(
+            self.worker_id,
+            phase,
+            step,
+            self.start.elapsed().as_nanos() as u64,
+        );
+    }
+
+    /// Mid-iteration phase label (no tick).
+    fn phase(&self, phase: BeatPhase) {
+        self.board.set_phase(self.worker_id, phase);
+    }
 }
 
 /// Runs one training execution and returns its full measurement record.
@@ -226,11 +300,23 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
         )),
     };
 
+    // Advisory memory cap: the pool's pressure path reads it through
+    // the shared gauge.
+    gauge.set_cap(cfg.mem_cap_bytes);
+
     let control = Control {
         stop: AtomicBool::new(false),
         crashed: AtomicBool::new(false),
         total_published: AtomicU64::new(0),
+        alive: AtomicUsize::new(threads),
     };
+
+    // Heartbeats: one cell per worker, plus the global registry so the
+    // stress watchdog can print liveness for a hung run.
+    let board = Arc::new(HeartbeatBoard::new(threads));
+    crate::heartbeat::set_current(&board);
+    // Contained worker panics land here (monitor threads never write).
+    let crashes: Mutex<Vec<WorkerCrash>> = Mutex::new(Vec::new());
 
     let mut tracker = ConvergenceTracker::new(initial_loss, &cfg.epsilons);
     let mut iters_to_eps: Vec<(f64, Option<u64>)> =
@@ -241,6 +327,7 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
 
     let start = Instant::now();
     let mut merged = WorkerStats::new(cfg.staleness_cap);
+    let mut heartbeat_stalls: u64 = 0;
     // Per-run trace window: baselines the process-wide counters now so the
     // final dump reports deltas for this run only. A ZST no-op unless the
     // `trace` feature is compiled in and LSGD_TRACE is set.
@@ -264,10 +351,47 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
         let control = &control;
         let gauge = &gauge;
         let collector = &mut collector;
+        let board = &board;
+        let crashes = &crashes;
+        let heartbeat_stalls = &mut heartbeat_stalls;
         lsgd_runtime::global().scope(|scope| {
             for (worker_id, slot) in stats_slots.iter_mut().enumerate() {
                 scope.spawn(move || {
-                    *slot = Some(run_worker(problem, shared, control, cfg, worker_id));
+                    // Tag this thread for the fault plane so crash rules
+                    // target trainer workers (restored on drop — the
+                    // runtime thread may run other tasks afterwards).
+                    let _tag = lsgd_fault::worker_tag(worker_id as u32);
+                    let ctx = WorkerCtx { board, worker_id, start };
+                    // Contain worker panics: one dead worker must not
+                    // take down the run. `AssertUnwindSafe` is justified
+                    // because every shared structure the loop touches is
+                    // panic-safe by construction — snapshot guards
+                    // release their counted read on drop, `GaugeHold`
+                    // returns gauge bytes, and the LAU-SPC CAS is a
+                    // single atomic (no partially-published state).
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        run_worker(problem, shared, control, cfg, worker_id, &ctx)
+                    })) {
+                        Ok(stats) => {
+                            ctx.phase(BeatPhase::Done);
+                            *slot = Some(stats);
+                        }
+                        Err(payload) => {
+                            ctx.phase(BeatPhase::Crashed);
+                            lsgd_trace::count(lsgd_trace::Counter::WorkerPanic);
+                            crashes
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(WorkerCrash {
+                                    worker: worker_id,
+                                    message: panic_message(payload),
+                                });
+                        }
+                    }
+                    // ORDERING: Relaxed — monotone countdown; the monitor
+                    // only needs to eventually observe 0 (it polls every
+                    // sleep slice), no data is carried through it.
+                    control.alive.fetch_sub(1, Ordering::Relaxed);
                 });
             }
 
@@ -275,6 +399,13 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
             // Crash on numerical instability, samples memory). ----
             scope.spawn(move || {
                 let mut snapshot = vec![0.0f32; dim];
+                // Heartbeat watchdog state: last observed tick per worker,
+                // when it last changed, and whether the worker is currently
+                // flagged as stalled (so one stall counts once, not once
+                // per poll).
+                let mut last_ticks = vec![0u64; threads];
+                let mut last_change = vec![start; threads];
+                let mut in_stall = vec![false; threads];
                 loop {
                     // Sleep in small slices so worker-side crash/budget
                     // stops are reacted to promptly.
@@ -282,8 +413,13 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
                     let mut slept = Duration::ZERO;
                     // ORDERING: Relaxed — `stop` is an eventually-observed
                     // flag; it carries no data (workers re-check it every
-                    // iteration).
-                    while slept < cfg.eval_every && !control.stop.load(Ordering::Relaxed) {
+                    // iteration). `alive` likewise: when every worker has
+                    // exited (e.g. all crashed) there is no progress left
+                    // to wait for, so stop sleeping and wrap up.
+                    while slept < cfg.eval_every
+                        && !control.stop.load(Ordering::Relaxed)
+                        && control.alive.load(Ordering::Relaxed) > 0
+                    {
                         std::thread::sleep(slice);
                         slept += slice;
                     }
@@ -293,6 +429,32 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
                     // next round).
                     let published = control.total_published.load(Ordering::Relaxed);
 
+                    // Heartbeat watchdog: a worker whose tick count has
+                    // not advanced for a full second (and which has not
+                    // terminated) is stalled — likely blocked in grad or
+                    // wedged on a protocol seam. Reads only the relaxed
+                    // cells; the mailbox stays available for detail
+                    // drains.
+                    let now = Instant::now();
+                    for w in 0..threads {
+                        let ticks = board.ticks(w);
+                        let phase = board.phase(w);
+                        let terminal =
+                            matches!(phase, BeatPhase::Done | BeatPhase::Crashed);
+                        if ticks != last_ticks[w] || terminal {
+                            last_ticks[w] = ticks;
+                            last_change[w] = now;
+                            in_stall[w] = false;
+                        } else if !in_stall[w]
+                            && ticks > 0
+                            && now.duration_since(last_change[w]) >= STALL_WINDOW
+                        {
+                            in_stall[w] = true;
+                            *heartbeat_stalls += 1;
+                            lsgd_trace::count(lsgd_trace::Counter::HeartbeatStall);
+                        }
+                    }
+
                     let loss = {
                         let _span = lsgd_trace::span(Phase::MonitorEval);
                         shared.snapshot_into(&mut snapshot);
@@ -301,7 +463,13 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
                         if control.crashed.load(Ordering::Relaxed) {
                             f64::NAN
                         } else {
-                            problem.eval_loss(&snapshot, monitor_scratch)
+                            // A panicking eval (same user code as worker
+                            // grad) must not kill the monitor — treat it
+                            // like numerical instability.
+                            catch_unwind(AssertUnwindSafe(|| {
+                                problem.eval_loss(&snapshot, monitor_scratch)
+                            }))
+                            .unwrap_or(f64::NAN)
                         }
                     };
                     // Drain worker rings at monitor cadence so span volume
@@ -317,12 +485,17 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
                         }
                     }
                     let budget_out = elapsed >= cfg.max_wall || published >= cfg.max_updates;
-                    // ORDERING: Relaxed load — flag check as above. SeqCst
-                    // store: the final verdict; keeps the terminal stop in
-                    // one total order with workers' crash/stop stores so no
-                    // worker can observe a "later" state that un-stops the
-                    // run.
-                    if done || budget_out || control.stop.load(Ordering::Relaxed) {
+                    // ORDERING: Relaxed loads — flag checks as above
+                    // (`alive == 0` means every worker already exited, so
+                    // there is nothing left to monitor). SeqCst store: the
+                    // final verdict; keeps the terminal stop in one total
+                    // order with workers' crash/stop stores so no worker
+                    // can observe a "later" state that un-stops the run.
+                    if done
+                        || budget_out
+                        || control.stop.load(Ordering::Relaxed)
+                        || control.alive.load(Ordering::Relaxed) == 0
+                    {
                         control.stop.store(true, Ordering::SeqCst);
                         break;
                     }
@@ -378,8 +551,15 @@ pub fn train<P: Problem>(problem: &P, cfg: &TrainConfig) -> RunResult {
         pool_outstanding_peak: pool_peak,
         mem_allocs: gauge.total_allocs(),
         mem_reuses: gauge.pool_reuses(),
+        worker_crashes: crashes.into_inner().unwrap_or_else(|e| e.into_inner()),
+        degraded_snapshots: merged.degraded,
+        heartbeat_stalls,
     }
 }
+
+/// A worker whose heartbeat tick count stays flat this long (while not
+/// terminated) is reported as stalled by the monitor's watchdog.
+const STALL_WINDOW: Duration = Duration::from_secs(1);
 
 
 /// Folds the freshly computed gradient into the worker's velocity buffer
@@ -405,6 +585,7 @@ fn run_worker<P: Problem>(
     control: &Control,
     cfg: &TrainConfig,
     worker_id: usize,
+    ctx: &WorkerCtx<'_>,
 ) -> WorkerStats {
     let dim = problem.dim();
     let mut stats = WorkerStats::new(cfg.staleness_cap);
@@ -419,44 +600,39 @@ fn run_worker<P: Problem>(
     // Worker-local buffers count towards the paper's memory model
     // (ASYNC/HOG hold 2m + 1 vectors: local copy + local gradient per
     // thread, plus the shared one; Leashed holds the gradient only, its
-    // working vectors come from the recycling pool).
-    let gauge = match shared {
-        SharedState::Leashed(s) => Arc::clone(s.pool().gauge()),
+    // working vectors come from the recycling pool). `GaugeHold` returns
+    // the bytes even when the loop unwinds from a contained panic.
+    let _hold = match shared {
+        SharedState::Leashed(s) => {
+            GaugeHold::new(Arc::clone(s.pool().gauge()), vec_bytes) // local gradient
+        }
         SharedState::Locked(p) => {
-            let gauge = Arc::clone(p.gauge());
-            gauge.add(2 * vec_bytes); // local copy + local gradient
+            // local copy + local gradient
+            let _hold = GaugeHold::new(Arc::clone(p.gauge()), 2 * vec_bytes);
             let mut local = vec![0.0f32; dim];
-            let stats = run_locked_worker(
+            return run_locked_worker(
                 problem, p, control, cfg, &mut scratch, &mut rng, &mut grad, &mut local,
-                stats,
+                stats, ctx,
             );
-            gauge.sub(2 * vec_bytes);
-            return stats;
         }
         SharedState::Hogwild(p) => {
-            let gauge = Arc::clone(p.gauge());
-            gauge.add(2 * vec_bytes);
+            let _hold = GaugeHold::new(Arc::clone(p.gauge()), 2 * vec_bytes);
             let mut local = vec![0.0f32; dim];
-            let stats = run_hogwild_worker(
+            return run_hogwild_worker(
                 problem, p, control, cfg, &mut scratch, &mut rng, &mut grad, &mut local,
-                stats,
+                stats, ctx,
             );
-            gauge.sub(2 * vec_bytes);
-            return stats;
         }
         SharedState::Sharded(s) => {
             // Sharded workers gather into a local theta copy (the shards
             // are not contiguous in memory), so like ASYNC/HOG they hold
             // local copy + local gradient.
-            let gauge = Arc::clone(s.gauge());
-            gauge.add(2 * vec_bytes);
+            let _hold = GaugeHold::new(Arc::clone(s.gauge()), 2 * vec_bytes);
             let mut local = vec![0.0f32; dim];
-            let stats = run_sharded_worker(
+            return run_sharded_worker(
                 problem, s, control, cfg, &mut scratch, &mut rng, &mut grad, &mut local,
-                stats,
+                stats, ctx,
             );
-            gauge.sub(2 * vec_bytes);
-            return stats;
         }
     };
     // ---- Leashed-SGD worker (Algorithm 3 thread body). ----
@@ -466,12 +642,15 @@ fn run_worker<P: Problem>(
     let SharedState::Leashed(s) = shared else {
         unreachable!();
     };
-    gauge.add(vec_bytes); // local gradient buffer
     let mut sparsify_scratch = Vec::new();
     let mut velocity = Vec::new();
+    let mut step: u64 = 0;
     // ORDERING: Relaxed — stop is an eventually-observed flag; the
     // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
+        ctx.beat(BeatPhase::Snapshot, step);
+        lsgd_fault::worker_step(step);
+        step += 1;
         let iter_start = Instant::now();
         let t0;
         let loss;
@@ -481,6 +660,7 @@ fn run_worker<P: Problem>(
                 s.latest()
             };
             t0 = guard.seq();
+            ctx.phase(BeatPhase::Grad);
             let tc_start = Instant::now();
             let _span = lsgd_trace::span(Phase::GradCompute);
             // Gradient computed directly from the published memory — the
@@ -504,6 +684,7 @@ fn run_worker<P: Problem>(
             .eta_policy
             .effective(cfg.eta, s.current_seq().saturating_sub(t0));
         let direction = fold_momentum(&mut grad, &mut velocity, cfg.momentum);
+        ctx.phase(BeatPhase::Publish);
         let tu_stats = &mut stats.tu;
         let outcome = {
             let _span = lsgd_trace::span(Phase::Publish);
@@ -538,7 +719,6 @@ fn run_worker<P: Problem>(
         }
         stats.iter_time.record(iter_start.elapsed().as_secs_f64());
     }
-    gauge.sub(vec_bytes);
     stats
 }
 
@@ -564,6 +744,7 @@ fn run_sharded_worker<P: Problem>(
     grad: &mut [f32],
     local: &mut [f32],
     mut stats: WorkerStats,
+    ctx: &WorkerCtx<'_>,
 ) -> WorkerStats {
     let Algorithm::ShardedLeashed {
         persistence,
@@ -580,17 +761,25 @@ fn run_sharded_worker<P: Problem>(
     // The sparse-native path bypasses the dense gradient buffer entirely;
     // momentum needs a dense velocity fold, so it forces the dense path.
     let sparse_native_ok = cfg.momentum == 0.0 && cfg.sparsify.is_none();
+    let mut step: u64 = 0;
     // ORDERING: Relaxed — stop is an eventually-observed flag; the
     // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
+        ctx.beat(BeatPhase::Snapshot, step);
+        lsgd_fault::worker_step(step);
+        step += 1;
         let iter_start = Instant::now();
         {
             let _span = lsgd_trace::span(Phase::SnapshotRead);
             let snap = shared.snapshot(snapshot_mode, WORKER_SNAPSHOT_RETRIES);
+            if snap.is_degraded() {
+                stats.degraded += 1;
+            }
             base_seqs.clear();
             base_seqs.extend_from_slice(snap.seqs());
             snap.gather_into(local);
         }
+        ctx.phase(BeatPhase::Grad);
         let tc_start = Instant::now();
         let mut sparse_ready = false;
         let mut loss = f32::NAN;
@@ -627,6 +816,7 @@ fn run_sharded_worker<P: Problem>(
             .max()
             .unwrap_or(0);
         let eta = cfg.eta_policy.effective(cfg.eta, tau_est);
+        ctx.phase(BeatPhase::Publish);
         let tu_stats = &mut stats.tu;
         let outcome = {
             let _span = lsgd_trace::span(Phase::Publish);
@@ -696,17 +886,23 @@ fn run_locked_worker<P: Problem>(
     grad: &mut [f32],
     local: &mut [f32],
     mut stats: WorkerStats,
+    ctx: &WorkerCtx<'_>,
 ) -> WorkerStats {
     let mut velocity: Vec<f32> = Vec::new();
     let mut sparsify_scratch = Vec::new();
+    let mut step: u64 = 0;
     // ORDERING: Relaxed — stop is an eventually-observed flag; the
     // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
+        ctx.beat(BeatPhase::Snapshot, step);
+        lsgd_fault::worker_step(step);
+        step += 1;
         let iter_start = Instant::now();
         let t0 = {
             let _span = lsgd_trace::span(Phase::SnapshotRead);
             shared.read_into(local) // lock, copy, unlock
         };
+        ctx.phase(BeatPhase::Grad);
         let tc_start = Instant::now();
         let loss = {
             let _span = lsgd_trace::span(Phase::GradCompute);
@@ -729,6 +925,7 @@ fn run_locked_worker<P: Problem>(
             .eta_policy
             .effective(cfg.eta, shared.current_seq().saturating_sub(t0));
         let direction = fold_momentum(grad, &mut velocity, cfg.momentum);
+        ctx.phase(BeatPhase::Publish);
         let tu_start = Instant::now();
         let t_pub = {
             let _span = lsgd_trace::span(Phase::Publish);
@@ -756,17 +953,23 @@ fn run_hogwild_worker<P: Problem>(
     grad: &mut [f32],
     local: &mut [f32],
     mut stats: WorkerStats,
+    ctx: &WorkerCtx<'_>,
 ) -> WorkerStats {
     let mut velocity: Vec<f32> = Vec::new();
     let mut sparsify_scratch = Vec::new();
+    let mut step: u64 = 0;
     // ORDERING: Relaxed — stop is an eventually-observed flag; the
     // worker re-polls it every iteration and carries no data through it.
     while !control.stop.load(Ordering::Relaxed) {
+        ctx.beat(BeatPhase::Snapshot, step);
+        lsgd_fault::worker_step(step);
+        step += 1;
         let iter_start = Instant::now();
         let t0 = {
             let _span = lsgd_trace::span(Phase::SnapshotRead);
             shared.read_into(local) // unsynchronised copy
         };
+        ctx.phase(BeatPhase::Grad);
         let tc_start = Instant::now();
         let loss = {
             let _span = lsgd_trace::span(Phase::GradCompute);
@@ -789,6 +992,7 @@ fn run_hogwild_worker<P: Problem>(
             .eta_policy
             .effective(cfg.eta, shared.current_seq().saturating_sub(t0));
         let direction = fold_momentum(grad, &mut velocity, cfg.momentum);
+        ctx.phase(BeatPhase::Publish);
         let tu_start = Instant::now();
         let t_pub = {
             let _span = lsgd_trace::span(Phase::Publish);

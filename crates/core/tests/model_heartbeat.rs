@@ -1,0 +1,125 @@
+//! Model checks for the heartbeat mailbox: the worker→monitor SPSC
+//! single-slot channel that carries `(step, ns)` beat details, plus the
+//! relaxed tick/phase cells the watchdog report reads.
+//!
+//! Run with `RUSTFLAGS="--cfg lsgd_model" cargo test -p lsgd_core
+//! --test model_heartbeat`. The mutation test additionally needs
+//! `--cfg lsgd_mutate_relaxed_beat`, which demotes the worker's
+//! `Release` publish of the mailbox sequence word to `Relaxed`; the
+//! regular invariants are compiled out under that cfg because they
+//! would (correctly) fail.
+#![cfg(lsgd_model)]
+
+use lsgd_check::thread;
+use lsgd_core::heartbeat::{Beat, BeatPhase, HeartbeatBoard};
+use std::sync::Arc;
+
+/// A worker beats while the monitor drains concurrently: every collected
+/// beat is whole (its `(seq, step, ns)` triple is one of the published
+/// ones, never torn across two beats), and after join the mailbox holds
+/// the last undrained beat. The checker's vector clocks validate the
+/// `detail` accesses under every explored schedule.
+#[cfg(not(lsgd_mutate_relaxed_beat))]
+#[test]
+fn mailbox_delivers_whole_beats() {
+    lsgd_check::model(|| {
+        let board = Arc::new(HeartbeatBoard::new(1));
+        let b2 = Arc::clone(&board);
+        let worker = thread::spawn(move || {
+            for step in 0..3u64 {
+                b2.beat(0, BeatPhase::Grad, step, step * 100);
+            }
+        });
+        let mut seen: Vec<Beat> = Vec::new();
+        for _ in 0..2 {
+            if let Some(beat) = board.collect(0) {
+                seen.push(beat);
+            }
+            thread::yield_now();
+        }
+        worker.join().unwrap();
+        if let Some(beat) = board.collect(0) {
+            seen.push(beat);
+        }
+        for beat in &seen {
+            // Integrity: `step` and `ns` belong to the same beat (the
+            // mailbox publishes them together under one seq word).
+            assert_eq!(beat.ns, beat.step * 100, "torn mailbox payload: {beat:?}");
+            assert!(beat.seq >= 1 && beat.seq <= 3, "bogus seq: {beat:?}");
+        }
+        // Drained seqs are strictly increasing (slot handback before the
+        // next publish; a beat is never delivered twice).
+        assert!(
+            seen.windows(2).all(|w| w[0].seq < w[1].seq),
+            "duplicated or reordered beats: {seen:?}"
+        );
+        // Join gives happens-before: ticks are exact afterwards, and the
+        // mailbox is empty after the final drain.
+        assert_eq!(board.ticks(0), 3, "lost tick");
+        assert_eq!(board.collect(0), None, "mailbox not drained");
+    });
+}
+
+/// The watchdog report path (relaxed `ticks`/`phase` reads) runs from a
+/// third thread while the worker beats and the monitor drains — it must
+/// be race-free (shim atomics, no `detail` access) and observe only
+/// monotone tick values.
+#[cfg(not(lsgd_mutate_relaxed_beat))]
+#[test]
+fn report_reads_race_free_alongside_the_protocol() {
+    lsgd_check::model(|| {
+        let board = Arc::new(HeartbeatBoard::new(1));
+        let b2 = Arc::clone(&board);
+        let worker = thread::spawn(move || {
+            b2.beat(0, BeatPhase::Snapshot, 0, 0);
+            b2.beat(0, BeatPhase::Publish, 1, 10);
+        });
+        // Watchdog-style observer: ticks are monotone, phase is always a
+        // valid label, and neither read consumes the mailbox.
+        let mut last = 0;
+        for _ in 0..2 {
+            let t = board.ticks(0);
+            assert!(t >= last && t <= 2, "non-monotone ticks: {t}");
+            last = t;
+            let _ = board.phase(0).name();
+            thread::yield_now();
+        }
+        worker.join().unwrap();
+        assert_eq!(board.ticks(0), 2);
+        assert_eq!(board.phase(0), BeatPhase::Publish);
+        // The observer consumed nothing: beat 1 is still in the mailbox.
+        let beat = board.collect(0).expect("first beat still published");
+        assert_eq!(beat, Beat { seq: 1, step: 0, ns: 0 });
+    });
+}
+
+/// THE mutation test: with `--cfg lsgd_mutate_relaxed_beat`, the
+/// worker's publish of the mailbox seq word is `Relaxed` instead of
+/// `Release`, so the monitor's `detail` read has no happens-before edge
+/// to the worker's `detail` write. The checker must report that as a
+/// data race — proving a green run of the other tests actually depends
+/// on the `Release`.
+#[cfg(lsgd_mutate_relaxed_beat)]
+#[test]
+fn weakened_beat_release_is_caught() {
+    let report = lsgd_check::explore(lsgd_check::Config::default(), || {
+        let board = Arc::new(HeartbeatBoard::new(1));
+        let b2 = Arc::clone(&board);
+        let worker = thread::spawn(move || b2.beat(0, BeatPhase::Grad, 7, 70));
+        let mut drained = None;
+        while drained.is_none() {
+            drained = board.collect(0);
+            thread::yield_now();
+        }
+        let _ = worker.join();
+    });
+    let failure = report
+        .failure
+        .expect("the checker must catch the weakened beat publish");
+    assert!(
+        failure.message.contains("data race"),
+        "expected a data-race report, got: {}",
+        failure.message
+    );
+    assert!(!failure.seed.is_empty(), "failure must carry a replay seed");
+}

@@ -4,6 +4,7 @@ use lsgd_core::prelude::*;
 use lsgd_data::blobs::gaussian_blobs;
 use lsgd_data::regression::dense_regression;
 use lsgd_nn::tiny_mlp;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 fn blob_problem(seed: u64) -> NnProblem {
@@ -463,4 +464,125 @@ fn sharded_s1_matches_unsharded_loss_quality() {
         sharded.final_loss,
         plain.final_loss
     );
+}
+
+// ---------------------------------------------------------------------------
+// Worker panic containment
+// ---------------------------------------------------------------------------
+
+/// Wraps a [`Problem`] and panics inside `grad` for the first
+/// `panic_budget` calls (process-wide across workers); later calls
+/// delegate. `u64::MAX` panics on every call.
+struct PanickingGrad<P> {
+    inner: P,
+    panic_budget: u64,
+    calls: AtomicU64,
+}
+
+impl<P> PanickingGrad<P> {
+    fn new(inner: P, panic_budget: u64) -> Self {
+        PanickingGrad { inner, panic_budget, calls: AtomicU64::new(0) }
+    }
+}
+
+impl<P: Problem> Problem for PanickingGrad<P> {
+    type Scratch = P::Scratch;
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn init_theta(&self, seed: u64) -> Vec<f32> {
+        self.inner.init_theta(seed)
+    }
+
+    fn scratch(&self) -> Self::Scratch {
+        self.inner.scratch()
+    }
+
+    fn grad(
+        &self,
+        theta: &[f32],
+        grad: &mut [f32],
+        scratch: &mut Self::Scratch,
+        rng: &mut lsgd_tensor::SmallRng64,
+    ) -> f32 {
+        // ORDERING: Relaxed — a monotone call counter; the panic decision
+        // needs no cross-thread ordering, only at-most-`budget` panics.
+        if self.calls.fetch_add(1, Ordering::Relaxed) < self.panic_budget {
+            panic!("injected grad failure (test)");
+        }
+        self.inner.grad(theta, grad, scratch, rng)
+    }
+
+    fn eval_loss(&self, theta: &[f32], scratch: &mut Self::Scratch) -> f64 {
+        self.inner.eval_loss(theta, scratch)
+    }
+}
+
+#[test]
+fn grad_panic_in_every_worker_yields_error_carrying_result_without_hang() {
+    // Every worker's first grad call panics: the run must terminate
+    // promptly (monitor sees alive == 0), return a RunResult carrying
+    // every crash, and leave the process healthy for a follow-up run.
+    let p = PanickingGrad::new(blob_problem(30), u64::MAX);
+    let mut cfg = quick_cfg(Algorithm::Leashed { persistence: Some(1) }, 3);
+    cfg.max_wall = Duration::from_secs(30); // the wall budget must NOT be what ends it
+    let start = std::time::Instant::now();
+    let r = train(&p, &cfg);
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "all-crashed run should stop via worker accounting, not the wall budget"
+    );
+    assert_eq!(r.worker_crashes.len(), 3, "{}", r.summary());
+    let mut crashed_ids: Vec<usize> = r.worker_crashes.iter().map(|c| c.worker).collect();
+    crashed_ids.sort_unstable();
+    assert_eq!(crashed_ids, vec![0, 1, 2]);
+    for crash in &r.worker_crashes {
+        assert!(
+            crash.message.contains("injected grad failure"),
+            "panic payload must be preserved: {:?}",
+            crash.message
+        );
+    }
+    assert_eq!(r.published, 0);
+    assert!(r.summary().contains("faults(wcrash 3"), "{}", r.summary());
+
+    // No poisoning: a clean run right after converges as usual.
+    let clean = blob_problem(30);
+    let r2 = train(&clean, &quick_cfg(Algorithm::Leashed { persistence: Some(1) }, 3));
+    assert!(r2.worker_crashes.is_empty());
+    assert!(r2.fully_converged(), "{}", r2.summary());
+}
+
+#[test]
+fn single_grad_panic_is_contained_and_survivors_converge() {
+    // Exactly one grad call panics (whichever worker gets there first);
+    // the other workers must finish the job.
+    let p = PanickingGrad::new(blob_problem(31), 1);
+    let r = train(&p, &quick_cfg(Algorithm::Leashed { persistence: None }, 3));
+    assert_eq!(r.worker_crashes.len(), 1, "{}", r.summary());
+    assert!(!r.crashed, "a contained panic is not numerical instability");
+    assert!(r.fully_converged(), "{}", r.summary());
+    assert!(r.published > 0);
+}
+
+#[test]
+fn sharded_worker_panics_are_contained_too() {
+    // Same containment through the sharded path: guards released, the
+    // multi-shard pools stay serviceable for the survivors.
+    let p = PanickingGrad::new(blob_problem(32), 1);
+    let r = train(
+        &p,
+        &quick_cfg(
+            Algorithm::ShardedLeashed {
+                persistence: Some(1),
+                shards: 8,
+                snapshot: SnapshotMode::Consistent,
+            },
+            3,
+        ),
+    );
+    assert_eq!(r.worker_crashes.len(), 1, "{}", r.summary());
+    assert!(r.fully_converged(), "{}", r.summary());
 }

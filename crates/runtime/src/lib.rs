@@ -665,9 +665,11 @@ fn default_threads() -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // The shared checked parser warns once on malformed/zero values; the
+    // sizing precedence itself stays a pure function for tests.
     let (n, legacy) = size_from_env(
-        std::env::var("LSGD_THREADS").ok().as_deref(),
-        std::env::var("LSGD_GEMM_THREADS").ok().as_deref(),
+        lsgd_check::env::positive_usize("LSGD_THREADS"),
+        lsgd_check::env::positive_usize("LSGD_GEMM_THREADS"),
         hw,
     );
     if legacy {
@@ -685,15 +687,16 @@ fn default_threads() -> usize {
     n
 }
 
-/// Pure sizing rule, split out for tests: primary knob wins, the deprecated
-/// legacy knob is honored second (reported via the bool), default last.
-/// Non-numeric or zero values are ignored.
-fn size_from_env(primary: Option<&str>, legacy: Option<&str>, default: usize) -> (usize, bool) {
-    let parse = |v: Option<&str>| v.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n >= 1);
-    if let Some(n) = parse(primary) {
+/// Pure sizing rule, split out for tests: the primary knob wins, the
+/// deprecated legacy knob is honored second (reported via the bool),
+/// default last. Malformed/zero values arrive here as `None` — the
+/// checked parser in `lsgd_check::env` already rejected and reported
+/// them.
+fn size_from_env(primary: Option<usize>, legacy: Option<usize>, default: usize) -> (usize, bool) {
+    if let Some(n) = primary {
         return (n, false);
     }
-    if let Some(n) = parse(legacy) {
+    if let Some(n) = legacy {
         return (n, true);
     }
     (default, false)
@@ -937,14 +940,13 @@ mod tests {
 
     #[test]
     fn size_from_env_precedence_and_deprecation() {
-        // Primary knob wins, no deprecation flag.
-        assert_eq!(size_from_env(Some("3"), Some("7"), 8), (3, false));
-        // Legacy knob honored when primary is absent/invalid — flagged.
-        assert_eq!(size_from_env(None, Some("7"), 8), (7, true));
-        assert_eq!(size_from_env(Some("zero"), Some("2"), 8), (2, true));
-        // Garbage and zero fall through to the default.
-        assert_eq!(size_from_env(Some("0"), None, 8), (8, false));
-        assert_eq!(size_from_env(None, Some("-1"), 5), (5, false));
+        // Primary knob wins, no deprecation flag. (Malformed/zero values
+        // reach this function as `None` — `lsgd_check::env` rejects them
+        // with a one-time warning.)
+        assert_eq!(size_from_env(Some(3), Some(7), 8), (3, false));
+        // Legacy knob honored when primary is absent — flagged.
+        assert_eq!(size_from_env(None, Some(7), 8), (7, true));
+        // Neither knob set: the default.
         assert_eq!(size_from_env(None, None, 6), (6, false));
     }
 

@@ -15,9 +15,7 @@ use lsgd_runtime::deque::Deque;
 use lsgd_runtime::Runtime;
 
 fn stress_threads() -> usize {
-    std::env::var("LSGD_STRESS_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    lsgd_check::env::positive_usize("LSGD_STRESS_THREADS")
         .filter(|&n| n >= 2)
         .unwrap_or_else(|| {
             std::thread::available_parallelism()

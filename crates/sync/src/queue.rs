@@ -330,6 +330,9 @@ impl<T> SegQueue<T> {
     /// Pops from the front of the queue; `None` if empty. Never blocks
     /// on an empty queue.
     pub fn pop(&self) -> Option<T> {
+        // Injection seam: an armed `stall:pop` rule delays this popper
+        // before it reads the head cursor (exercising slot-state races).
+        lsgd_fault::point(lsgd_fault::Site::QueuePop);
         let mut backoff = Backoff::new();
         let mut head = self.head.0.index.load(Ordering::Acquire);
         let mut seg = self.head.0.segment.load(Ordering::Acquire);

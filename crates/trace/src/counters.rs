@@ -53,11 +53,26 @@ pub enum Counter {
     Unpark,
     /// The runtime spilled a scoped task onto a temporary thread.
     SpillThread,
+    /// A pressured pool allocation waited on the free list (gauge cap
+    /// reached or an injected OOM).
+    PoolPressureWait,
+    /// A pressured pool allocation exhausted its bounded wait and was
+    /// forced through past the cap.
+    PoolPressureForced,
+    /// A trainer worker panicked and was contained (run continued on
+    /// the survivors).
+    WorkerPanic,
+    /// The monitor saw a worker make no progress for a full stall
+    /// window.
+    HeartbeatStall,
+    /// A Consistent sharded snapshot exhausted its validate retries and
+    /// degraded to a per-shard Fast read.
+    SnapshotDegraded,
 }
 
 impl Counter {
     /// Number of counter variants (array size of a [`CounterCell`]).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 22;
 
     /// All variants, in declaration order (index == discriminant).
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -78,6 +93,11 @@ impl Counter {
         Counter::Park,
         Counter::Unpark,
         Counter::SpillThread,
+        Counter::PoolPressureWait,
+        Counter::PoolPressureForced,
+        Counter::WorkerPanic,
+        Counter::HeartbeatStall,
+        Counter::SnapshotDegraded,
     ];
 
     /// Stable dotted name used in reports and the Chrome-trace export.
@@ -100,6 +120,11 @@ impl Counter {
             Counter::Park => "runtime.park",
             Counter::Unpark => "runtime.unpark",
             Counter::SpillThread => "runtime.spill_thread",
+            Counter::PoolPressureWait => "pool.pressure_wait",
+            Counter::PoolPressureForced => "pool.pressure_forced",
+            Counter::WorkerPanic => "trainer.worker_panic",
+            Counter::HeartbeatStall => "trainer.heartbeat_stall",
+            Counter::SnapshotDegraded => "snapshot.degraded_fast",
         }
     }
 }

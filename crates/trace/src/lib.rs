@@ -336,12 +336,8 @@ mod imp {
 
     #[cold]
     fn init_state() -> bool {
-        let on = std::env::var("LSGD_TRACE")
-            .map(|v| !v.is_empty() && v != "0")
-            .unwrap_or(false)
-            || std::env::var("LSGD_TRACE_JSON")
-                .map(|v| !v.is_empty())
-                .unwrap_or(false);
+        let on = lsgd_check::env::flag("LSGD_TRACE")
+            || lsgd_check::env::var("LSGD_TRACE_JSON").is_some();
         // ORDERING: Relaxed — see `enabled`: a latch, racing initializers
         // compute the same value.
         STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
@@ -475,7 +471,7 @@ pub fn enable() {
 pub fn chrome_path() -> Option<String> {
     #[cfg(feature = "enabled")]
     {
-        std::env::var("LSGD_TRACE_JSON").ok().filter(|s| !s.is_empty())
+        lsgd_check::env::var("LSGD_TRACE_JSON")
     }
     #[cfg(not(feature = "enabled"))]
     {

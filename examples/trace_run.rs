@@ -28,9 +28,7 @@ fn main() {
     // the target dir. Setting the env var (before any train) is how the
     // trainer knows where to append.
     let path = std::env::args().nth(1).unwrap_or_else(|| {
-        std::env::var("LSGD_TRACE_JSON")
-            .ok()
-            .filter(|s| !s.is_empty())
+        lsgd_core::env::var("LSGD_TRACE_JSON")
             .unwrap_or_else(|| "target/trace_run.json".to_string())
     });
     let _ = std::fs::remove_file(&path); // fresh trajectory per invocation

@@ -3,6 +3,7 @@
 pub use lsgd_core as core;
 pub use lsgd_data as data;
 pub use lsgd_dynamics as dynamics;
+pub use lsgd_fault as fault;
 pub use lsgd_metrics as metrics;
 pub use lsgd_nn as nn;
 pub use lsgd_sync as sync;

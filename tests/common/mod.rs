@@ -26,6 +26,14 @@ impl Watchdog {
                     "watchdog: test '{name}' still running after {limit:?}; \
                      aborting the test binary so the hang fails promptly"
                 );
+                // Per-worker liveness of the current training run, if one
+                // is live: which worker is stuck, and in which phase. The
+                // report reads only relaxed heartbeat cells, so it is safe
+                // while the hung run's own monitor still owns the
+                // mailboxes.
+                if let Some(report) = lsgd_core::heartbeat::report_current() {
+                    eprintln!("watchdog: last heartbeats:\n{report}");
+                }
                 std::process::abort();
             }
         });
@@ -54,14 +62,10 @@ pub const STRESS_LIMIT: Duration = Duration::from_secs(60);
 /// never hits.
 #[allow(dead_code)] // each test binary compiles its own copy of common/
 pub fn stress_threads() -> usize {
-    std::env::var("LSGD_STRESS_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n: &usize| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .max(4)
-        })
+    lsgd_core::env::positive_usize("LSGD_STRESS_THREADS").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(4)
+    })
 }
